@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks for the host-side CST pipeline:
+//! construction (Algorithm 1), partitioning (Algorithm 2, Fig. 8's greedy
+//! vs fixed k), and workload estimation (Section V-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cst::{
+    build_cst, build_cst_with_stats, estimate_workload, partition_cst, CstOptions,
+    PartitionConfig,
+};
+use graph_core::generators::{generate_ldbc, LdbcParams};
+use graph_core::{benchmark_query, path_based_order, select_root, BfsTree};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.5), 1);
+    let mut group = c.benchmark_group("cst_construction");
+    group.sample_size(20);
+    for qi in [0usize, 2, 6, 8] {
+        let q = benchmark_query(qi);
+        let root = select_root(&q, &g);
+        let tree = BfsTree::new(&q, root);
+        group.bench_with_input(BenchmarkId::new("default", format!("q{qi}")), &qi, |b, _| {
+            b.iter(|| black_box(build_cst(&q, &g, &tree)));
+        });
+        group.bench_with_input(BenchmarkId::new("minimal", format!("q{qi}")), &qi, |b, _| {
+            b.iter(|| {
+                black_box(build_cst_with_stats(&q, &g, &tree, CstOptions::minimal()).0)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.5), 1);
+    let q = benchmark_query(2);
+    let root = select_root(&q, &g);
+    let tree = BfsTree::new(&q, root);
+    let order = path_based_order(&q, &tree, &g);
+    let cst = build_cst(&q, &g, &tree);
+
+    let mut group = c.benchmark_group("cst_partition_fig8");
+    group.sample_size(15);
+    let delta_s = cst.size_bytes() / 8 + 64;
+    let mut policies: Vec<(String, Option<u32>)> = vec![("greedy".into(), None)];
+    for k in [2u32, 4, 8] {
+        policies.push((format!("k{k}"), Some(k)));
+    }
+    for (name, fixed_k) in policies {
+        let config = PartitionConfig {
+            delta_s,
+            delta_d: u32::MAX,
+            fixed_k,
+            max_partitions: 1 << 16,
+        };
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(partition_cst(&cst, &order, &config).0.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_estimation(c: &mut Criterion) {
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.5), 1);
+    let q = benchmark_query(6);
+    let root = select_root(&q, &g);
+    let tree = BfsTree::new(&q, root);
+    let cst = build_cst(&q, &g, &tree);
+    c.bench_function("workload_estimation_q6", |b| {
+        b.iter(|| black_box(estimate_workload(&cst, &tree).total));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_partitioning,
+    bench_workload_estimation
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbenchmarks for the discrete-event pipeline simulator —
+//! the substrate validating the cycle equations (Section VI-B/C/D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast::des_check::{simulate_sep_cycles, simulate_task_cycles};
+use fpga_sim::{Fifo, MemoryModel};
+use std::hint::black_box;
+
+fn bench_des_wirings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_variant_wirings");
+    group.sample_size(12);
+    for (n, k) in [(5_000u64, 1u64), (5_000, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("task", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| black_box(simulate_task_cycles(n, k, 512)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sep", format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| black_box(simulate_sep_cycles(n, k, 512)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    c.bench_function("fifo_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut f = Fifo::new(1024);
+            for i in 0..1024u64 {
+                f.push(i).unwrap();
+            }
+            let mut acc = 0u64;
+            while let Some(x) = f.pop() {
+                acc = acc.wrapping_add(x);
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("memory_charge_1k", |b| {
+        b.iter(|| {
+            let mut m = MemoryModel::bram(1 << 20, 1);
+            let mut cycles = 0u64;
+            for _ in 0..1024 {
+                cycles += m.charge_reads(1);
+            }
+            black_box(cycles)
+        });
+    });
+}
+
+criterion_group!(benches, bench_des_wirings, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for the emulated kernel: the functional run
+//! (whose wall time bounds the whole harness) and the per-variant cycle
+//! models (Fig. 7/11/12's underlying quantities).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cst::build_cst;
+use fast::{run_kernel, CollectMode, KernelPlan, Variant};
+use fpga_sim::{CycleModel, StageLatencies, WorkloadCounts};
+use graph_core::generators::{generate_ldbc, LdbcParams};
+use graph_core::{benchmark_query, path_based_order, select_root, BfsTree};
+use std::hint::black_box;
+
+fn bench_kernel_run(c: &mut Criterion) {
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.3), 3);
+    let mut group = c.benchmark_group("kernel_functional_run");
+    group.sample_size(15);
+    for qi in [2usize, 6, 8] {
+        let q = benchmark_query(qi);
+        let root = select_root(&q, &g);
+        let tree = BfsTree::new(&q, root);
+        let order = path_based_order(&q, &tree, &g);
+        let cst = build_cst(&q, &g, &tree);
+        let plan = KernelPlan::new(&q, &order, &tree).expect("fits");
+        for no in [64u32, 4096] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{qi}"), format!("No{no}")),
+                &no,
+                |b, &no| {
+                    b.iter(|| {
+                        black_box(run_kernel(&cst, &plan, no, CollectMode::CountOnly).embeddings)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cycle_models(c: &mut Criterion) {
+    let model = CycleModel::new(StageLatencies::default(), 4096, 1, 8);
+    let counts = WorkloadCounts {
+        n: 10_000_000,
+        m: 15_000_000,
+    };
+    let mut group = c.benchmark_group("cycle_model_equations");
+    for variant in Variant::ALL {
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| black_box(variant.kernel_cycles(&model, counts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_run, bench_cycle_models);
+criterion_main!(benches);

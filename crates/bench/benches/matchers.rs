@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks comparing the matchers' real (host) execution:
+//! the engine work behind the Fig. 14 comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fast::{run_fast, FastConfig, Variant};
+use graph_core::benchmark_query;
+use graph_core::generators::{generate_ldbc, LdbcParams};
+use join_baselines::{run_join_baseline, DeviceSpec, JoinBaseline};
+use matching::{run_baseline, Baseline, RunLimits};
+use std::hint::black_box;
+
+fn bench_fig14_micro(c: &mut Criterion) {
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.3), 3);
+    let limits = RunLimits::unlimited();
+    let device = DeviceSpec::default();
+    let mut group = c.benchmark_group("fig14_matchers");
+    group.sample_size(10);
+    for qi in [2usize, 6] {
+        let q = benchmark_query(qi);
+        group.bench_with_input(BenchmarkId::new("FAST", format!("q{qi}")), &qi, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_fast(&q, &g, &FastConfig::for_variant(Variant::Sep))
+                        .expect("fits")
+                        .embeddings,
+                )
+            });
+        });
+        for baseline in Baseline::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(baseline.name(), format!("q{qi}")),
+                &qi,
+                |b, _| {
+                    b.iter(|| black_box(run_baseline(baseline, &q, &g, &limits).embeddings));
+                },
+            );
+        }
+        for jb in JoinBaseline::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(jb.name(), format!("q{qi}")),
+                &qi,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(run_join_baseline(jb, &q, &g, &device, &limits).embeddings)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_micro);
+criterion_main!(benches);

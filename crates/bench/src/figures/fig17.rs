@@ -1,0 +1,116 @@
+//! Fig. 17: scalability varying |E(G)| — uniform edge samples of DG60.
+//!
+//! "We keep all vertices and sample 20%, 40%, 60%, and 80% edges of DG60
+//! uniformly … the average elapsed time per embedding has no apparent
+//! changing as |E(G)| increases." Small samples show inflated per-embedding
+//! times for queries with tiny result counts (q5, q6, q8 at 20%), because
+//! transfer and index construction dominate.
+
+use crate::harness::{experiment_config, DatasetCache};
+use fast::{run_fast, Variant};
+use graph_core::{benchmark_query, sample_edges, DatasetId};
+
+/// One (query, fraction) point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub query: usize,
+    pub fraction: f64,
+    pub embeddings: u64,
+    pub elapsed_sec: f64,
+}
+
+impl Row {
+    /// Elapsed time per embedding (infinite when no embeddings exist).
+    pub fn per_embedding_sec(&self) -> f64 {
+        if self.embeddings == 0 {
+            f64::INFINITY
+        } else {
+            self.elapsed_sec / self.embeddings as f64
+        }
+    }
+}
+
+/// The edge fractions of the paper.
+pub const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// The queries the paper plots in Fig. 17.
+pub const QUERIES: [usize; 7] = [1, 2, 3, 5, 6, 7, 8];
+
+/// Runs the sweep on edge samples of `base`.
+pub fn run(cache: &mut DatasetCache, base: DatasetId, queries: &[usize]) -> Vec<Row> {
+    let g_full = cache.get(base).clone();
+    let mut rows = Vec::new();
+    for &fraction in &FRACTIONS {
+        let g = if fraction >= 1.0 {
+            g_full.clone()
+        } else {
+            sample_edges(&g_full, fraction, 0xF1617 + (fraction * 100.0) as u64)
+        };
+        for &qi in queries {
+            let q = benchmark_query(qi);
+            let report = run_fast(&q, &g, &experiment_config(Variant::Share)).unwrap();
+            rows.push(Row {
+                query: qi,
+                fraction,
+                embeddings: report.embeddings,
+                elapsed_sec: report.modeled_total_sec(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the figure.
+pub fn render(base: DatasetId, rows: &[Row]) -> String {
+    let header = vec![
+        "query".to_string(),
+        "|E| fraction".to_string(),
+        "#embeddings".to_string(),
+        "elapsed".to_string(),
+        "per embedding".to_string(),
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("q{}", r.query),
+                format!("{:.0}%", r.fraction * 100.0),
+                r.embeddings.to_string(),
+                crate::harness::fmt_time(r.elapsed_sec),
+                if r.per_embedding_sec().is_finite() {
+                    format!("{:.3}us", r.per_embedding_sec() * 1e6)
+                } else {
+                    "-".to_string()
+                },
+            ]
+        })
+        .collect();
+    format!(
+        "Fig. 17: scalability of FAST varying |E(G)| ({base} edge samples)\n{}",
+        crate::harness::render_table(&header, &body)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_sweep_runs_on_dg01() {
+        let mut cache = DatasetCache::new();
+        let rows = run(&mut cache, DatasetId::Dg01, &[2, 7]);
+        assert_eq!(rows.len(), FRACTIONS.len() * 2);
+        // The full graph has at least as many embeddings as the 20% sample.
+        for qi in [2, 7] {
+            let f20 = rows
+                .iter()
+                .find(|r| r.query == qi && r.fraction == 0.2)
+                .unwrap();
+            let f100 = rows
+                .iter()
+                .find(|r| r.query == qi && r.fraction == 1.0)
+                .unwrap();
+            assert!(f100.embeddings >= f20.embeddings);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Table III: characteristics of datasets.
+
+use crate::harness::DatasetCache;
+use graph_core::{DatasetId, GraphStats};
+
+/// Computes the Table III rows for all datasets.
+pub fn run(cache: &mut DatasetCache) -> Vec<GraphStats> {
+    DatasetId::ALL
+        .iter()
+        .map(|&d| GraphStats::compute(d.name(), cache.get(d)))
+        .collect()
+}
+
+/// Renders the table in the paper's format.
+pub fn render(rows: &[GraphStats]) -> String {
+    let mut out = String::from("Table III: characteristics of datasets (scaled ladder)\n");
+    out.push_str(&GraphStats::table_header());
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.table_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_monotone_and_eleven_labels() {
+        let mut cache = DatasetCache::new();
+        // Only the two smallest to keep the test fast.
+        let a = GraphStats::compute("DG01", cache.get(DatasetId::Dg01));
+        let b = GraphStats::compute("DG03", cache.get(DatasetId::Dg03));
+        assert!(b.vertices > 2 * a.vertices);
+        assert!(b.edges > 2 * a.edges);
+        assert_eq!(a.labels, 11);
+        assert_eq!(b.labels, 11);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cst
+//!
+//! The **candidate search tree** (CST) of the FAST paper (ICDE 2021),
+//! Section V — the host-side auxiliary structure that serves as a complete,
+//! partitionable search space for subgraph matching:
+//!
+//! * [`Cst`] — candidate sets per query vertex plus CSR adjacency for every
+//!   directed query edge (Definition 2);
+//! * [`build_cst`] — Algorithm 1 (top-down construction, bottom-up
+//!   refinement, non-tree edges), with configurable pruning strength
+//!   ([`CstOptions`]);
+//! * [`partition_cst`] — Algorithm 2, greedy or fixed-`k` (Fig. 8);
+//! * [`estimate_workload`] — the `W_CST` dynamic program (Section V-C);
+//! * [`enumerate_embeddings`] — CST-only backtracking (Theorem 1), the CPU
+//!   share's matcher and the kernel's correctness oracle.
+
+pub mod construct;
+pub mod enumerate;
+pub mod filter;
+pub mod partition;
+pub mod structure;
+pub mod workload;
+
+pub use construct::{build_cst, build_cst_with_stats, BuildStats, CstOptions};
+pub use enumerate::{
+    count_embeddings, enumerate_embeddings, EnumerationStats, MatchPlan,
+};
+pub use filter::CandidateFilter;
+pub use partition::{
+    fits, partition_cst, partition_cst_into, partition_cst_with_steal, shard_at_vertex,
+    PartitionConfig, PartitionStats,
+};
+pub use structure::{CsrAdj, Cst};
+pub use workload::{estimate_workload, WorkloadEstimate};

@@ -1,0 +1,471 @@
+//! CST partitioning (paper Algorithm 2, Section V-B).
+//!
+//! The FPGA's BRAM (35 MB on the Alveo U200) cannot hold large CSTs, and its
+//! array-partitioned edge-check limits the maximum candidate adjacency list
+//! to `Port_max`. The host therefore splits the CST along the matching order:
+//! the candidate set of the current order vertex is divided into `k` even
+//! chunks, and each chunk induces a smaller CST rebuilt top-down, keeping for
+//! later order vertices only candidates that can still reach the chunk. The
+//! search spaces of sibling partitions are disjoint (Example 3), so results
+//! are never duplicated.
+//!
+//! The greedy `k = max(|CST|/δ_S, D_CST/δ_D)` is the paper's default; a
+//! fixed-`k` mode reproduces the Fig. 8 ablation.
+
+use crate::structure::{CsrAdj, Cst};
+use graph_core::MatchingOrder;
+
+/// Partition thresholds and policy.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// δ_S: maximum CST size in bytes that fits the kernel's BRAM budget.
+    pub delta_s: usize,
+    /// δ_D: maximum candidate adjacency-list length (`Port_max`).
+    pub delta_d: u32,
+    /// `Some(k)` forces a fixed partition factor (Fig. 8); `None` uses the
+    /// paper's greedy ratio rule.
+    pub fixed_k: Option<u32>,
+    /// Hard cap on emitted partitions (safety valve for misconfiguration).
+    pub max_partitions: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            // Mirrors the kernel defaults in `fpga-sim::FpgaSpec` (35 MB BRAM
+            // with headroom for the partial-results buffer).
+            delta_s: 16 << 20,
+            delta_d: 4096,
+            fixed_k: None,
+            max_partitions: 1 << 20,
+        }
+    }
+}
+
+/// Outcome counters of a partition run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Partitions emitted.
+    pub partitions: usize,
+    /// Partitions emitted despite violating a threshold because no further
+    /// split was possible (all order vertices reduced to one candidate).
+    pub forced: usize,
+    /// Deepest recursion (order index reached).
+    pub max_index: usize,
+    /// Partitions skipped because a candidate set became empty.
+    pub skipped_empty: usize,
+    /// Oversized CSTs consumed by the steal hook instead of being split
+    /// (FAST-SHARE's partition-cost reduction, paper Section VII-B).
+    pub stolen: usize,
+}
+
+/// Whether `cst` satisfies both thresholds.
+pub fn fits(cst: &Cst, config: &PartitionConfig) -> bool {
+    cst.size_bytes() <= config.delta_s && cst.max_candidate_degree() <= config.delta_d
+}
+
+/// Partitions `cst` until every part satisfies `config`, streaming parts into
+/// `sink`. Returns statistics.
+pub fn partition_cst_into(
+    cst: &Cst,
+    order: &MatchingOrder,
+    config: &PartitionConfig,
+    sink: &mut dyn FnMut(Cst),
+) -> PartitionStats {
+    partition_cst_with_steal(cst, order, config, &mut |_| false, sink)
+}
+
+/// Like [`partition_cst_into`], but consults `steal` before splitting an
+/// oversized CST; returning `true` consumes it (the caller processes it,
+/// e.g. on the CPU) and skips the split. This is FAST-SHARE's optimisation:
+/// "we may directly assign it to CPU, reducing the cost of partitioning".
+pub fn partition_cst_with_steal(
+    cst: &Cst,
+    order: &MatchingOrder,
+    config: &PartitionConfig,
+    steal: &mut dyn FnMut(&Cst) -> bool,
+    sink: &mut dyn FnMut(Cst),
+) -> PartitionStats {
+    let mut stats = PartitionStats::default();
+    recurse(cst.clone(), order, config, 0, steal, sink, &mut stats);
+    stats
+}
+
+/// Convenience wrapper collecting partitions into a `Vec`.
+pub fn partition_cst(
+    cst: &Cst,
+    order: &MatchingOrder,
+    config: &PartitionConfig,
+) -> (Vec<Cst>, PartitionStats) {
+    let mut out = Vec::new();
+    let stats = partition_cst_into(cst, order, config, &mut |p| out.push(p));
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    cst: Cst,
+    order: &MatchingOrder,
+    config: &PartitionConfig,
+    index: usize,
+    steal: &mut dyn FnMut(&Cst) -> bool,
+    sink: &mut dyn FnMut(Cst),
+    stats: &mut PartitionStats,
+) {
+    stats.max_index = stats.max_index.max(index);
+    if stats.partitions >= config.max_partitions {
+        return;
+    }
+    if cst.any_empty() {
+        stats.skipped_empty += 1;
+        return;
+    }
+    if fits(&cst, config) {
+        stats.partitions += 1;
+        sink(cst);
+        return;
+    }
+    if steal(&cst) {
+        stats.stolen += 1;
+        return;
+    }
+    if index >= order.len() {
+        // Cannot split further; emit as-is (callers surface `forced`).
+        stats.partitions += 1;
+        stats.forced += 1;
+        sink(cst);
+        return;
+    }
+    let u = order.vertex_at(index);
+    let count = cst.candidate_count(u);
+    if count <= 1 {
+        recurse(cst, order, config, index + 1, steal, sink, stats);
+        return;
+    }
+
+    // k ← max(|CST|/δS, D_CST/δD), clamped to [2, |C(u)|] (Alg. 2 lines 2-3).
+    let k = match config.fixed_k {
+        Some(k) => k as usize,
+        None => {
+            let by_size = cst.size_bytes().div_ceil(config.delta_s);
+            let by_degree = (cst.max_candidate_degree() as usize).div_ceil(config.delta_d as usize);
+            by_size.max(by_degree)
+        }
+    }
+    .clamp(2, count);
+
+    // Even split of C(u) into k chunks (Alg. 2 line 4).
+    let base = count / k;
+    let extra = count % k;
+    let mut start = 0usize;
+    for part in 0..k {
+        if stats.partitions >= config.max_partitions {
+            return;
+        }
+        let len = base + usize::from(part < extra);
+        if len == 0 {
+            continue;
+        }
+        let range = start as u32..(start + len) as u32;
+        start += len;
+        let sub = rebuild_partition(&cst, order, index, range);
+        if sub.any_empty() {
+            stats.skipped_empty += 1;
+            continue;
+        }
+        if fits(&sub, config) {
+            stats.partitions += 1;
+            sink(sub);
+            if stats.partitions >= config.max_partitions {
+                return;
+            }
+        } else if sub.candidate_count(u) <= 1 {
+            recurse(sub, order, config, index + 1, steal, sink, stats);
+        } else {
+            recurse(sub, order, config, index, steal, sink, stats);
+        }
+    }
+}
+
+/// Rebuilds a CST keeping, for the order vertex at `index`, only candidates
+/// with indices in `chunk`; vertices preceding `index` keep all candidates,
+/// vertices following it keep candidates reachable through already-rebuilt
+/// neighbours (Alg. 2 lines 5-13).
+fn rebuild_partition(
+    cst: &Cst,
+    order: &MatchingOrder,
+    index: usize,
+    chunk: std::ops::Range<u32>,
+) -> Cst {
+    let n = cst.query_vertex_count();
+    // keep[u] = boolean per old candidate index.
+    let mut keep: Vec<Vec<bool>> = (0..n)
+        .map(|u| vec![true; cst.candidate_count(graph_core::QueryVertexId::from_index(u))])
+        .collect();
+    let split_vertex = order.vertex_at(index);
+    for (i, flag) in keep[split_vertex.index()].iter_mut().enumerate() {
+        *flag = chunk.contains(&(i as u32));
+    }
+
+    // Top-down reachability filter along the order.
+    for pos in (index + 1)..order.len() {
+        let u = order.vertex_at(pos);
+        // Earlier-rebuilt query neighbours: those with order position < pos
+        // and >= index (sets before `index` are unchanged ⇒ no constraint).
+        let constraining: Vec<graph_core::QueryVertexId> = cst
+            .directed_edges()
+            .filter(|&(a, _)| a == u)
+            .map(|(_, b)| b)
+            .filter(|&b| {
+                let p = order.position_of(b);
+                (index..pos).contains(&p)
+            })
+            .collect();
+        if constraining.is_empty() {
+            continue;
+        }
+        let mut flags = std::mem::take(&mut keep[u.index()]);
+        for (i, flag) in flags.iter_mut().enumerate() {
+            if !*flag {
+                continue;
+            }
+            let reachable = constraining.iter().all(|&b| {
+                cst.neighbors(u, i as u32, b)
+                    .iter()
+                    .any(|&t| keep[b.index()][t as usize])
+            });
+            if !reachable {
+                *flag = false;
+            }
+        }
+        keep[u.index()] = flags;
+    }
+
+    rebuild_with_keep(cst, &keep)
+}
+
+/// Restricts a CST to candidates of `vertex` whose indices fall in `range`,
+/// leaving every other candidate set untouched (adjacency into/out of
+/// `vertex` is re-filtered). Used by root-candidate work sharding (the
+/// parallel baselines and the multi-FPGA extension); unlike
+/// [`partition_cst`], no reachability pruning is applied, which is sound but
+/// keeps slightly larger partitions.
+pub fn shard_at_vertex(
+    cst: &Cst,
+    vertex: graph_core::QueryVertexId,
+    range: std::ops::Range<u32>,
+) -> Cst {
+    let n = cst.query_vertex_count();
+    let mut keep: Vec<Vec<bool>> = (0..n)
+        .map(|u| vec![true; cst.candidate_count(graph_core::QueryVertexId::from_index(u))])
+        .collect();
+    for (i, flag) in keep[vertex.index()].iter_mut().enumerate() {
+        *flag = range.contains(&(i as u32));
+    }
+    rebuild_with_keep(cst, &keep)
+}
+
+/// Rebuilds a CST dropping candidates whose `keep` flag is false, remapping
+/// every adjacency list.
+fn rebuild_with_keep(cst: &Cst, keep: &[Vec<bool>]) -> Cst {
+    let n = cst.query_vertex_count();
+    // Old-index → new-index maps.
+    const DROPPED: u32 = u32::MAX;
+    let mut remap: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut new_candidates = Vec::with_capacity(n);
+    for (u, keep_u) in keep.iter().enumerate() {
+        let qu = graph_core::QueryVertexId::from_index(u);
+        let mut map = vec![DROPPED; keep_u.len()];
+        let mut cands = Vec::new();
+        for (i, &kept) in keep_u.iter().enumerate() {
+            if kept {
+                map[i] = cands.len() as u32;
+                cands.push(cst.candidate(qu, i as u32));
+            }
+        }
+        remap.push(map);
+        new_candidates.push(cands);
+    }
+
+    // Rebuild adjacency CSRs restricted to kept candidates.
+    let mut pairs = Vec::new();
+    for (a, b) in cst.directed_edges() {
+        let old = cst.adjacency(a, b);
+        let mut offsets = Vec::with_capacity(new_candidates[a.index()].len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for (i, &kept) in keep[a.index()].iter().enumerate() {
+            if !kept {
+                continue;
+            }
+            for &t in old.neighbors(i) {
+                let nt = remap[b.index()][t as usize];
+                if nt != DROPPED {
+                    targets.push(nt);
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        pairs.push(((a, b), CsrAdj { offsets, targets }));
+    }
+
+    Cst::from_parts(n, new_candidates, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::build_cst;
+    use crate::enumerate::count_embeddings;
+    use graph_core::generators::random_labelled_graph;
+    use graph_core::{BfsTree, Label, QueryGraph, QueryVertexId};
+
+    fn l(x: u16) -> Label {
+        Label::new(x)
+    }
+
+    fn qv(x: usize) -> QueryVertexId {
+        QueryVertexId::from_index(x)
+    }
+
+    fn setup() -> (QueryGraph, graph_core::Graph, BfsTree, MatchingOrder, Cst) {
+        let q = QueryGraph::new(
+            vec![l(0), l(1), l(0), l(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        .unwrap();
+        let g = random_labelled_graph(80, 0.12, 2, 31);
+        let tree = BfsTree::new(&q, qv(0));
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).unwrap();
+        let cst = build_cst(&q, &g, &tree);
+        (q, g, tree, order, cst)
+    }
+
+    #[test]
+    fn partitions_respect_thresholds() {
+        let (_, _, _, order, cst) = setup();
+        let config = PartitionConfig {
+            delta_s: cst.size_bytes() / 4 + 64,
+            delta_d: u32::MAX,
+            fixed_k: None,
+            max_partitions: 1 << 16,
+        };
+        let (parts, stats) = partition_cst(&cst, &order, &config);
+        assert!(parts.len() >= 2, "expected a real split");
+        assert_eq!(stats.forced, 0);
+        for p in &parts {
+            assert!(fits(p, &config));
+        }
+    }
+
+    #[test]
+    fn partition_union_preserves_embedding_count() {
+        // The core disjointness/completeness property (Example 3): summing
+        // embeddings over partitions equals the whole-CST count.
+        let (q, _, _, order, cst) = setup();
+        let whole = count_embeddings(&cst, &q, &order);
+        for delta_div in [2, 4, 8] {
+            let config = PartitionConfig {
+                delta_s: cst.size_bytes() / delta_div + 64,
+                delta_d: u32::MAX,
+                fixed_k: None,
+                max_partitions: 1 << 16,
+            };
+            let (parts, _) = partition_cst(&cst, &order, &config);
+            let sum: u64 = parts.iter().map(|p| count_embeddings(p, &q, &order)).sum();
+            assert_eq!(sum, whole, "delta_div={delta_div}");
+        }
+    }
+
+    #[test]
+    fn fixed_k_union_also_preserves_count() {
+        let (q, _, _, order, cst) = setup();
+        let whole = count_embeddings(&cst, &q, &order);
+        for k in [2, 4, 6] {
+            let config = PartitionConfig {
+                delta_s: cst.size_bytes() / 3 + 64,
+                delta_d: u32::MAX,
+                fixed_k: Some(k),
+                max_partitions: 1 << 16,
+            };
+            let (parts, _) = partition_cst(&cst, &order, &config);
+            let sum: u64 = parts.iter().map(|p| count_embeddings(p, &q, &order)).sum();
+            assert_eq!(sum, whole, "k={k}");
+        }
+    }
+
+    #[test]
+    fn degree_threshold_triggers_partitioning() {
+        let (_, _, _, order, cst) = setup();
+        let d = cst.max_candidate_degree();
+        if d < 2 {
+            return; // graph too sparse to exercise this
+        }
+        let config = PartitionConfig {
+            delta_s: usize::MAX,
+            delta_d: d / 2,
+            fixed_k: None,
+            max_partitions: 1 << 16,
+        };
+        let (parts, _) = partition_cst(&cst, &order, &config);
+        assert!(!parts.is_empty());
+        // Either all parts satisfy the degree bound or they were forced.
+        for p in &parts {
+            assert!(p.max_candidate_degree() <= d);
+        }
+    }
+
+    #[test]
+    fn already_fitting_cst_is_returned_unchanged() {
+        let (_, _, _, order, cst) = setup();
+        let config = PartitionConfig::default();
+        let (parts, stats) = partition_cst(&cst, &order, &config);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(parts[0].total_candidates(), cst.total_candidates());
+    }
+
+    #[test]
+    fn partitions_are_structurally_valid() {
+        let (q, _, _, order, cst) = setup();
+        let config = PartitionConfig {
+            delta_s: cst.size_bytes() / 6 + 64,
+            delta_d: u32::MAX,
+            fixed_k: None,
+            max_partitions: 1 << 16,
+        };
+        let (parts, _) = partition_cst(&cst, &order, &config);
+        for p in &parts {
+            p.validate(&q).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_emits_no_more_partitions_than_small_fixed_k() {
+        // Fig. 8's observation: the greedy rule needs the fewest partitions.
+        let (_, _, _, order, cst) = setup();
+        let delta_s = cst.size_bytes() / 4 + 64;
+        let mk = |fixed_k| PartitionConfig {
+            delta_s,
+            delta_d: u32::MAX,
+            fixed_k,
+            max_partitions: 1 << 16,
+        };
+        let (greedy, _) = partition_cst(&cst, &order, &mk(None));
+        let (k2, _) = partition_cst(&cst, &order, &mk(Some(2)));
+        assert!(greedy.len() <= k2.len() + 1, "{} vs {}", greedy.len(), k2.len());
+    }
+
+    #[test]
+    fn max_partitions_caps_output() {
+        let (_, _, _, order, cst) = setup();
+        let config = PartitionConfig {
+            delta_s: 128,
+            delta_d: u32::MAX,
+            fixed_k: None,
+            max_partitions: 3,
+        };
+        let (parts, _) = partition_cst(&cst, &order, &config);
+        assert!(parts.len() <= 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! The BRAM-only intermediate results buffer `P` (paper Section VI-B).
+//!
+//! The paper's key memory contribution: partial results never spill to DRAM.
+//! `P` reserves `(|V(q)| - 1) × N_o` slots in BRAM and the kernel always
+//! expands the partial results with the **largest** mapped-vertex count
+//! first ("each round we expand p_n with the maximum n in P"), which bounds
+//! the live population of each level `n ∈ [1, |V(q)|-1]` by `N_o` — complete
+//! results (`n = |V(q)|`) leave the buffer immediately.
+//!
+//! This module enforces the invariant with debug assertions and exposes the
+//! counters the cycle/memory models need.
+
+use crate::plan::MAX_KERNEL_QUERY;
+use std::collections::VecDeque;
+
+/// A partial result: candidate indices (into the CST candidate sets) for the
+/// first `level` matching-order depths, in fixed-width storage mirroring the
+/// kernel's registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partial {
+    mapping: [u32; MAX_KERNEL_QUERY],
+    level: u8,
+    /// Resume offset into the anchor adjacency list: when a partial's
+    /// candidate list is longer than the round budget, the paper maps the
+    /// first `N_o` candidates and "the rest candidates will be mapped later".
+    pub resume_offset: u32,
+}
+
+impl Partial {
+    /// A fresh root partial mapping the root to candidate index `i`.
+    pub fn root(i: u32) -> Self {
+        let mut mapping = [0u32; MAX_KERNEL_QUERY];
+        mapping[0] = i;
+        Partial {
+            mapping,
+            level: 1,
+            resume_offset: 0,
+        }
+    }
+
+    /// Number of mapped depths.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level as usize
+    }
+
+    /// Candidate index chosen at depth `d`.
+    #[inline]
+    pub fn mapping(&self, d: usize) -> u32 {
+        debug_assert!(d < self.level());
+        self.mapping[d]
+    }
+
+    /// The mapped prefix as a slice.
+    #[inline]
+    pub fn prefix(&self) -> &[u32] {
+        &self.mapping[..self.level()]
+    }
+
+    /// Extends this partial by one depth with candidate index `j`.
+    #[inline]
+    pub fn extended(&self, j: u32) -> Partial {
+        debug_assert!(self.level() < MAX_KERNEL_QUERY);
+        let mut next = *self;
+        next.mapping[next.level as usize] = j;
+        next.level += 1;
+        next.resume_offset = 0;
+        next
+    }
+}
+
+/// The buffer `P`: one bounded queue per level `1..query_len`.
+#[derive(Debug)]
+pub struct ResultsBuffer {
+    levels: Vec<VecDeque<Partial>>,
+    /// `N_o` — per-level bound enforced by the deepest-first policy.
+    no: usize,
+    /// Peak per-level occupancy observed (index = level-1).
+    high_water: Vec<usize>,
+    /// Total partials ever pushed.
+    total_pushed: u64,
+}
+
+impl ResultsBuffer {
+    /// Creates the buffer for a query of `query_len` vertices and the given
+    /// `N_o`.
+    pub fn new(query_len: usize, no: usize) -> Self {
+        assert!(query_len >= 1);
+        assert!(no >= 1, "N_o must be positive");
+        // Levels 1..=query_len-1 hold incomplete partials.
+        let level_count = query_len.saturating_sub(1).max(1);
+        ResultsBuffer {
+            levels: (0..level_count).map(|_| VecDeque::new()).collect(),
+            no,
+            high_water: vec![0; level_count],
+            total_pushed: 0,
+        }
+    }
+
+    /// Capacity in partial-result slots, `(|V(q)|-1) × N_o`.
+    pub fn capacity_slots(&self) -> usize {
+        self.levels.len() * self.no
+    }
+
+    /// BRAM bytes this buffer occupies (each slot stores the fixed-width
+    /// mapping plus level/offset metadata).
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_slots() * std::mem::size_of::<Partial>()
+    }
+
+    /// Pushes an incomplete partial (level < query_len).
+    ///
+    /// The deepest-first expansion policy keeps every level at ≤ `N_o`
+    /// occupants; the debug assertion is the paper's no-overflow guarantee.
+    pub fn push(&mut self, p: Partial) {
+        let idx = p.level() - 1;
+        debug_assert!(
+            self.levels[idx].len() < self.no,
+            "BRAM buffer overflow at level {}: deepest-first policy violated",
+            p.level()
+        );
+        self.levels[idx].push_back(p);
+        self.total_pushed += 1;
+        self.high_water[idx] = self.high_water[idx].max(self.levels[idx].len());
+    }
+
+    /// Pops a partial from the deepest non-empty level.
+    pub fn pop_deepest(&mut self) -> Option<Partial> {
+        for level in (0..self.levels.len()).rev() {
+            if let Some(p) = self.levels[level].pop_front() {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Pops a partial from a specific level (1-based), if any.
+    ///
+    /// Used by the Generator to keep a round on a single query vertex even
+    /// while the Synchronizer pushes deeper partials into the buffer.
+    pub fn pop_level(&mut self, level: usize) -> Option<Partial> {
+        self.levels[level - 1].pop_front()
+    }
+
+    /// Pushes a partial back at the *front* of its level (used when a round
+    /// budget ends mid-expansion, preserving deepest-first fairness).
+    pub fn push_front(&mut self, p: Partial) {
+        let idx = p.level() - 1;
+        self.levels[idx].push_front(p);
+        self.high_water[idx] = self.high_water[idx].max(self.levels[idx].len());
+    }
+
+    /// Whether all levels are empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(VecDeque::is_empty)
+    }
+
+    /// Live partials across all levels.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(VecDeque::len).sum()
+    }
+
+    /// Peak occupancy of each level (index = level - 1).
+    pub fn high_water(&self) -> &[usize] {
+        &self.high_water
+    }
+
+    /// Total partials pushed over the run.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// `N_o`.
+    pub fn no(&self) -> usize {
+        self.no
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_extension() {
+        let p = Partial::root(7);
+        assert_eq!(p.level(), 1);
+        assert_eq!(p.prefix(), &[7]);
+        let p2 = p.extended(3);
+        assert_eq!(p2.level(), 2);
+        assert_eq!(p2.prefix(), &[7, 3]);
+        assert_eq!(p2.mapping(0), 7);
+        assert_eq!(p2.mapping(1), 3);
+        // The original is unchanged (register copy semantics).
+        assert_eq!(p.level(), 1);
+    }
+
+    #[test]
+    fn partial_is_register_sized() {
+        // One BRAM slot: 16 × u32 mapping + metadata ≤ 72 bytes.
+        assert!(std::mem::size_of::<Partial>() <= 72);
+    }
+
+    #[test]
+    fn deepest_first_pop() {
+        let mut buf = ResultsBuffer::new(4, 8);
+        buf.push(Partial::root(0));
+        buf.push(Partial::root(1).extended(5));
+        buf.push(Partial::root(2));
+        let first = buf.pop_deepest().unwrap();
+        assert_eq!(first.level(), 2);
+        let second = buf.pop_deepest().unwrap();
+        assert_eq!(second.level(), 1);
+        assert_eq!(second.mapping(0), 0);
+    }
+
+    #[test]
+    fn capacity_model() {
+        let buf = ResultsBuffer::new(6, 1024);
+        assert_eq!(buf.capacity_slots(), 5 * 1024);
+        assert_eq!(
+            buf.capacity_bytes(),
+            5 * 1024 * std::mem::size_of::<Partial>()
+        );
+    }
+
+    #[test]
+    fn high_water_tracks_levels() {
+        let mut buf = ResultsBuffer::new(3, 4);
+        for i in 0..3 {
+            buf.push(Partial::root(i));
+        }
+        buf.pop_deepest();
+        assert_eq!(buf.high_water()[0], 3);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.total_pushed(), 3);
+    }
+
+    #[test]
+    fn push_front_preserves_order() {
+        let mut buf = ResultsBuffer::new(3, 4);
+        buf.push(Partial::root(1));
+        let mut p = Partial::root(0);
+        p.resume_offset = 9;
+        buf.push_front(p);
+        let popped = buf.pop_deepest().unwrap();
+        assert_eq!(popped.mapping(0), 0);
+        assert_eq!(popped.resume_offset, 9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflow")]
+    fn overflow_asserts_in_debug() {
+        let mut buf = ResultsBuffer::new(3, 2);
+        buf.push(Partial::root(0));
+        buf.push(Partial::root(1));
+        buf.push(Partial::root(2));
+    }
+}

@@ -1,0 +1,126 @@
+//! Configuration of the co-designed framework.
+
+use crate::kernel::CollectMode;
+use crate::variants::Variant;
+use cst::{CstOptions, PartitionConfig};
+use fpga_sim::{FpgaSpec, StageLatencies};
+
+/// Full configuration for a FAST run.
+#[derive(Debug, Clone)]
+pub struct FastConfig {
+    /// Device parameters (Alveo U200 defaults).
+    pub spec: FpgaSpec,
+    /// Pipeline stage latencies `L1..L6`.
+    pub latencies: StageLatencies,
+    /// Which variant to run (the paper's final algorithm is FAST-SHARE).
+    pub variant: Variant,
+    /// CPU workload share `δ` (only used by FAST-SHARE; the paper's best
+    /// value is 0.1, Fig. 13).
+    pub delta: f64,
+    /// CST construction pruning strength.
+    pub cst_options: CstOptions,
+    /// `Some(k)`: fixed partition factor (Fig. 8 ablation); `None`: greedy.
+    pub fixed_k: Option<u32>,
+    /// What to do with embeddings.
+    pub collect: CollectMode,
+    /// Safety cap on partition count.
+    pub max_partitions: usize,
+}
+
+impl Default for FastConfig {
+    fn default() -> Self {
+        FastConfig {
+            spec: FpgaSpec::default(),
+            latencies: StageLatencies::default(),
+            variant: Variant::Share,
+            delta: 0.1,
+            cst_options: CstOptions::default(),
+            fixed_k: None,
+            collect: CollectMode::CountOnly,
+            max_partitions: 1 << 20,
+        }
+    }
+}
+
+impl FastConfig {
+    /// Default configuration for a specific variant. Non-SHARE variants get
+    /// `δ = 0` (no CPU sharing).
+    pub fn for_variant(variant: Variant) -> Self {
+        FastConfig {
+            variant,
+            delta: if variant.shares_with_cpu() { 0.1 } else { 0.0 },
+            ..Default::default()
+        }
+    }
+
+    /// A small-device configuration for tests: tiny BRAM so partitioning
+    /// actually triggers on test-sized graphs.
+    pub fn test_small(variant: Variant) -> Self {
+        FastConfig {
+            spec: FpgaSpec::test_small(),
+            variant,
+            delta: if variant.shares_with_cpu() { 0.1 } else { 0.0 },
+            ..Default::default()
+        }
+    }
+
+    /// Derives the CST partition thresholds from the device spec: δ_S is the
+    /// BRAM budget left after reserving the `(|V(q)|-1) × N_o` partial-result
+    /// buffer; δ_D is `Port_max`.
+    pub fn partition_config(&self, query_len: usize) -> PartitionConfig {
+        let partial_bytes = std::mem::size_of::<crate::buffer::Partial>();
+        PartitionConfig {
+            delta_s: self.spec.cst_bram_budget(query_len, partial_bytes).max(1),
+            delta_d: self.spec.port_max,
+            fixed_k: self.fixed_k,
+            max_partitions: self.max_partitions,
+        }
+    }
+
+    /// The cycle model induced by this configuration.
+    pub fn cycle_model(&self) -> fpga_sim::CycleModel {
+        fpga_sim::CycleModel::new(
+            self.latencies,
+            self.spec.no,
+            self.spec.bram_read_latency,
+            self.spec.dram_read_latency,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_share_with_paper_delta() {
+        let c = FastConfig::default();
+        assert_eq!(c.variant, Variant::Share);
+        assert!((c.delta - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_share_variants_disable_delta() {
+        let c = FastConfig::for_variant(Variant::Basic);
+        assert_eq!(c.delta, 0.0);
+        let s = FastConfig::for_variant(Variant::Share);
+        assert!(s.delta > 0.0);
+    }
+
+    #[test]
+    fn partition_config_reserves_buffer() {
+        let c = FastConfig::default();
+        let p6 = c.partition_config(6);
+        let p2 = c.partition_config(2);
+        assert!(p6.delta_s < p2.delta_s, "bigger queries reserve more buffer");
+        assert_eq!(p6.delta_d, c.spec.port_max);
+    }
+
+    #[test]
+    fn cycle_model_uses_spec() {
+        let c = FastConfig::default();
+        let m = c.cycle_model();
+        assert_eq!(m.no, c.spec.no);
+        assert_eq!(m.dram_read_latency, c.spec.dram_read_latency);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-validation of the closed-form cycle model against the
+//! discrete-event pipeline simulator.
+//!
+//! The closed forms (Equations 2-4) assume idealised overlap; the DES models
+//! the actual token flow through stages and FIFOs, including fan-out
+//! throttling and backpressure. This module wires the FAST module graph in
+//! the TASK (Fig. 5(b)) and SEP (Fig. 5(c)) configurations and runs a
+//! synthetic workload of `N` partial results with a given edge-validation
+//! fan-out. Tests assert that the DES agrees with the equations within a
+//! small constant factor and preserves the optimisation ordering — the same
+//! role the paper's cycle analysis plays against its hardware measurements.
+
+use fpga_sim::des::{PipelineBuilder, Token};
+
+/// DES makespan for the FAST-TASK wiring.
+///
+/// The single Generator first reads the partial result (`L1`) and expands it
+/// (`L2`) — two pipeline slots per `p_o`, hence II = 2 — and then emits the
+/// `t_n` stream; Visited Validator, Edge Validator, and Synchronizer run
+/// concurrently behind FIFOs.
+pub fn simulate_task_cycles(n_po: u64, tn_per_po: u64, fifo_depth: usize) -> u64 {
+    let mut b = PipelineBuilder::new();
+    let p_in = b.add_fifo(n_po as usize + 1);
+    let tv_fifo = b.add_fifo(fifo_depth);
+    let tn_fifo = b.add_fifo(fifo_depth.max(tn_per_po as usize + 1));
+    let done_fifo = b.add_fifo(fifo_depth);
+    let ev_out = b.add_fifo(fifo_depth.max(tn_per_po as usize + 1));
+
+    // Generator: II=2 (buffer read + expansion share one module), emitting
+    // one tv and `tn_per_po` tn tokens per partial.
+    b.add_stage(
+        "generator",
+        Some(p_in),
+        4,
+        2,
+        Box::new(move |t: Token| {
+            let mut out = vec![(tv_fifo, t)];
+            for _ in 0..tn_per_po {
+                out.push((tn_fifo, t));
+            }
+            out
+        }),
+    );
+    b.add_stage(
+        "visited-validator",
+        Some(tv_fifo),
+        2,
+        1,
+        Box::new(move |t| vec![(done_fifo, t)]),
+    );
+    b.add_stage(
+        "edge-validator",
+        Some(tn_fifo),
+        3,
+        1,
+        Box::new(move |t| vec![(ev_out, t)]),
+    );
+    b.add_stage("synchronizer", Some(done_fifo), 2, 1, Box::new(|_| vec![]));
+    b.add_stage("ev-sink", Some(ev_out), 1, 1, Box::new(|_| vec![]));
+
+    let mut p = b.build();
+    for i in 0..n_po {
+        p.inject(p_in, i);
+    }
+    p.run(u64::MAX / 2).cycles
+}
+
+/// DES makespan for the FAST-SEP wiring: the Generator is split, so the
+/// `t_v` path and the `t_n` path each have their own II=1 generator fed
+/// from duplicated partial-result streams.
+pub fn simulate_sep_cycles(n_po: u64, tn_per_po: u64, fifo_depth: usize) -> u64 {
+    let mut b = PipelineBuilder::new();
+    let p_in_tv = b.add_fifo(n_po as usize + 1);
+    let p_in_tn = b.add_fifo(n_po as usize + 1);
+    let tv_fifo = b.add_fifo(fifo_depth);
+    let tn_fifo = b.add_fifo(fifo_depth.max(tn_per_po as usize + 1));
+    let done_fifo = b.add_fifo(fifo_depth);
+    let ev_out = b.add_fifo(fifo_depth.max(tn_per_po as usize + 1));
+
+    b.add_stage(
+        "tv-generator",
+        Some(p_in_tv),
+        4,
+        1,
+        Box::new(move |t: Token| vec![(tv_fifo, t)]),
+    );
+    b.add_stage(
+        "tn-generator",
+        Some(p_in_tn),
+        4,
+        1,
+        Box::new(move |t: Token| (0..tn_per_po).map(|_| (tn_fifo, t)).collect()),
+    );
+    b.add_stage(
+        "visited-validator",
+        Some(tv_fifo),
+        2,
+        1,
+        Box::new(move |t| vec![(done_fifo, t)]),
+    );
+    b.add_stage(
+        "edge-validator",
+        Some(tn_fifo),
+        3,
+        1,
+        Box::new(move |t| vec![(ev_out, t)]),
+    );
+    b.add_stage("synchronizer", Some(done_fifo), 2, 1, Box::new(|_| vec![]));
+    b.add_stage("ev-sink", Some(ev_out), 1, 1, Box::new(|_| vec![]));
+
+    let mut p = b.build();
+    for i in 0..n_po {
+        p.inject(p_in_tv, i);
+        p.inject(p_in_tn, i);
+    }
+    p.run(u64::MAX / 2).cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_sim::{CycleModel, StageLatencies, WorkloadCounts};
+
+    fn model() -> CycleModel {
+        CycleModel::new(StageLatencies::default(), 1024, 1, 8)
+    }
+
+    #[test]
+    fn des_agrees_with_task_equation_within_factor() {
+        let m = model();
+        for (n, k) in [(2000u64, 1u64), (2000, 2), (2000, 3), (500, 4)] {
+            let counts = WorkloadCounts { n, m: n * k };
+            let analytic = m.task(counts) as f64;
+            let des = simulate_task_cycles(n, k, 512) as f64;
+            let ratio = des / analytic;
+            assert!(
+                (0.3..=2.5).contains(&ratio),
+                "task DES/analytic = {ratio} at n={n}, k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn des_agrees_with_sep_equation_within_factor() {
+        let m = model();
+        for (n, k) in [(2000u64, 1u64), (2000, 2), (2000, 3), (500, 4)] {
+            let counts = WorkloadCounts { n, m: n * k };
+            let analytic = m.sep(counts) as f64;
+            let des = simulate_sep_cycles(n, k, 512) as f64;
+            let ratio = des / analytic;
+            assert!(
+                (0.3..=2.5).contains(&ratio),
+                "sep DES/analytic = {ratio} at n={n}, k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn des_preserves_sep_faster_than_task() {
+        for (n, k) in [(3000u64, 1u64), (3000, 2), (1000, 3)] {
+            let task = simulate_task_cycles(n, k, 512);
+            let sep = simulate_sep_cycles(n, k, 512);
+            assert!(
+                sep <= task,
+                "sep {sep} should not exceed task {task} at n={n}, k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_fifos_add_backpressure() {
+        // With deep fan-out and tiny FIFOs the tn path throttles everything.
+        let deep = simulate_sep_cycles(1000, 4, 1024);
+        let shallow = simulate_sep_cycles(1000, 4, 2);
+        assert!(shallow >= deep);
+    }
+}

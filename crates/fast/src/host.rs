@@ -1,0 +1,479 @@
+//! The host-side driver: the full CPU-FPGA co-designed flow of Fig. 2.
+//!
+//! 1. construct the CST (Section V-A, measured on the real CPU);
+//! 2. partition it to fit the kernel's BRAM budget (Section V-B);
+//! 3. offload partitions over the modelled PCIe link and run the emulated
+//!    kernel on each (Section VI), while FAST-SHARE books a bounded share of
+//!    partitions to the CPU (Algorithm 3) and steals oversized CSTs to skip
+//!    partitioning work;
+//! 4. aggregate embeddings and derive elapsed time.
+//!
+//! Timing model: host-side work (CST construction, partitioning, the CPU
+//! matching share) is both *measured* on this machine and *modelled* on the
+//! paper's Xeon via [`matching::CpuCostModel`], so that the end-to-end
+//! number is hardware-consistent with the modelled 300 MHz kernel (see
+//! cost_model docs). The paper overlaps partitioning with kernel execution
+//! (partitions stream to the card as they are produced), so the modelled
+//! elapsed time is `build + max(partition + cpu_share, transfer + kernel)`.
+
+use crate::config::FastConfig;
+use crate::kernel::{run_kernel, CollectMode, KernelOutput};
+use crate::plan::{KernelPlan, PlanError};
+use crate::scheduler::ShareScheduler;
+use crate::variants::Variant;
+use cst::{build_cst_with_stats, estimate_workload, partition_cst_with_steal, Cst};
+use fpga_sim::WorkloadCounts;
+use matching::CpuCostModel;
+use graph_core::{path_based_order, select_root, BfsTree, Graph, MatchingOrder, QueryGraph, VertexId};
+use std::time::{Duration, Instant};
+
+/// Errors from a FAST run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastError {
+    /// The query exceeds the kernel's register budget.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for FastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FastError {}
+
+impl From<PlanError> for FastError {
+    fn from(e: PlanError) -> Self {
+        FastError::Plan(e)
+    }
+}
+
+/// Complete report of one co-designed run.
+#[derive(Debug, Clone)]
+pub struct FastReport {
+    /// Variant executed.
+    pub variant: Variant,
+    /// Total embeddings (FPGA + CPU shares).
+    pub embeddings: u64,
+    /// Collected embeddings if requested (FPGA-side only).
+    pub collected: Vec<Vec<VertexId>>,
+    /// FPGA-side workload counters (`N`, `M`).
+    pub counts: WorkloadCounts,
+    /// Number of CST partitions offloaded to the FPGA.
+    pub fpga_partitions: usize,
+    /// Number of partitions (or stolen oversized CSTs) run on the CPU.
+    pub cpu_partitions: usize,
+    /// Oversized CSTs the CPU stole before splitting (FAST-SHARE only).
+    pub stolen: usize,
+    /// Partitions emitted despite violating thresholds (should be 0).
+    pub forced: usize,
+    /// Estimated workloads booked per side.
+    pub workload_cpu: f64,
+    pub workload_fpga: f64,
+    /// Measured host time: CST construction.
+    pub build_time: Duration,
+    /// Measured host time: partitioning (including workload estimation).
+    pub partition_time: Duration,
+    /// Measured host time: CPU-share matching.
+    pub cpu_match_time: Duration,
+    /// Host times normalised to the paper's Xeon (see `CpuCostModel`).
+    pub modeled_build_sec: f64,
+    pub modeled_partition_sec: f64,
+    pub modeled_cpu_match_sec: f64,
+    /// Modelled kernel cycles (all FPGA partitions, this variant's model).
+    pub kernel_cycles: u64,
+    /// Modelled kernel seconds at the device clock.
+    pub kernel_time_sec: f64,
+    /// Modelled PCIe transfer seconds (CST offload + result fetch).
+    pub transfer_time_sec: f64,
+    /// Bytes moved over PCIe.
+    pub transfer_bytes: usize,
+    /// Kernel execution detail (rounds, memory traffic), aggregated.
+    pub rounds: u64,
+    pub cst_reads: u64,
+    pub buffer_writes: u64,
+    /// Total size of all offloaded partitions (S_CST of Fig. 9).
+    pub cst_bytes_total: usize,
+    /// Wall-clock time of the whole emulated run (host measurement).
+    pub wall_time: Duration,
+}
+
+impl FastReport {
+    /// The modelled end-to-end elapsed time (seconds): host work on the
+    /// paper's Xeon plus kernel/transfer time on the modelled card, with
+    /// partitioning overlapped against kernel execution as in the design.
+    pub fn modeled_total_sec(&self) -> f64 {
+        let host_side = self.modeled_partition_sec + self.modeled_cpu_match_sec;
+        let kernel_side = self.transfer_time_sec + self.kernel_time_sec;
+        self.modeled_build_sec + host_side.max(kernel_side)
+    }
+
+    /// Like [`FastReport::modeled_total_sec`] but with host work *measured*
+    /// on this machine instead of normalised.
+    pub fn measured_total_sec(&self) -> f64 {
+        let host_side = self.partition_time.as_secs_f64() + self.cpu_match_time.as_secs_f64();
+        let kernel_side = self.transfer_time_sec + self.kernel_time_sec;
+        self.build_time.as_secs_f64() + host_side.max(kernel_side)
+    }
+}
+
+/// Runs the co-designed framework on `(q, g)`.
+pub fn run_fast(q: &QueryGraph, g: &Graph, config: &FastConfig) -> Result<FastReport, FastError> {
+    let wall_start = Instant::now();
+
+    // --- Host: CST construction (Fig. 2 step 1). ---
+    let build_start = Instant::now();
+    let root = select_root(q, g);
+    let tree = BfsTree::new(q, root);
+    let order = path_based_order(q, &tree, g);
+    let (cst, build_stats) = build_cst_with_stats(q, g, &tree, config.cst_options);
+    let build_time = build_start.elapsed();
+
+    run_fast_with_prepared(
+        q,
+        g,
+        config,
+        &tree,
+        &order,
+        &cst,
+        build_stats.adjacency_entries,
+        build_time,
+        wall_start,
+    )
+}
+
+/// Runs FAST with an explicit matching order (Fig. 15's order-sensitivity
+/// experiment injects CFL/DAF/CECI/random orders here).
+pub fn run_fast_with_order(
+    q: &QueryGraph,
+    g: &Graph,
+    config: &FastConfig,
+    order: &MatchingOrder,
+) -> Result<FastReport, FastError> {
+    let wall_start = Instant::now();
+    let build_start = Instant::now();
+    // The BFS tree must be rooted at the order's first vertex so that the
+    // CST parent structure is compatible with the order.
+    let tree = BfsTree::new(q, order.first());
+    let (cst, build_stats) = build_cst_with_stats(q, g, &tree, config.cst_options);
+    let build_time = build_start.elapsed();
+    run_fast_with_prepared(
+        q,
+        g,
+        config,
+        &tree,
+        order,
+        &cst,
+        build_stats.adjacency_entries,
+        build_time,
+        wall_start,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fast_with_prepared(
+    q: &QueryGraph,
+    _g: &Graph,
+    config: &FastConfig,
+    tree: &BfsTree,
+    order: &MatchingOrder,
+    cst: &Cst,
+    build_entries: usize,
+    build_time: Duration,
+    wall_start: Instant,
+) -> Result<FastReport, FastError> {
+    let cpu_cost = CpuCostModel::default();
+    let plan = KernelPlan::new(q, order, tree)?;
+    let partition_config = config.partition_config(q.vertex_count());
+    let model = config.cycle_model();
+    let delta = if config.variant.shares_with_cpu() {
+        config.delta
+    } else {
+        0.0
+    };
+    let mut scheduler = ShareScheduler::new(delta);
+
+    // Partitions booked to the CPU are cached and processed after the
+    // partition phase (Section V-C: "CST is temporarily cached and will be
+    // processed when all partition procedure finishes").
+    let mut cpu_queue: Vec<Cst> = Vec::new();
+    let mut fpga_outputs: Vec<KernelOutput> = Vec::new();
+    let mut transfer_bytes = 0usize;
+    let mut cst_bytes_total = 0usize;
+    let mut stolen = 0usize;
+    let mut stolen_entries = 0usize;
+
+    // --- Host: partition + schedule (Fig. 2 steps 2/3/5). The kernel is
+    //     invoked inline per partition; its *time* is modelled, not
+    //     measured, so inline execution is equivalent to streaming. ---
+    let partition_start = Instant::now();
+    let mut kernel_wall = Duration::ZERO;
+    let stats = {
+        // Both hooks mutate the same scheduling state; the partitioner takes
+        // them as two independent `&mut dyn FnMut`, so share via RefCell.
+        struct Shared<'s> {
+            scheduler: &'s mut ShareScheduler,
+            cpu_queue: &'s mut Vec<Cst>,
+            fpga_outputs: &'s mut Vec<KernelOutput>,
+            transfer_bytes: &'s mut usize,
+            cst_bytes_total: &'s mut usize,
+            stolen_entries: &'s mut usize,
+            kernel_wall: &'s mut Duration,
+        }
+        let shared = std::cell::RefCell::new(Shared {
+            scheduler: &mut scheduler,
+            cpu_queue: &mut cpu_queue,
+            fpga_outputs: &mut fpga_outputs,
+            transfer_bytes: &mut transfer_bytes,
+            cst_bytes_total: &mut cst_bytes_total,
+            stolen_entries: &mut stolen_entries,
+            kernel_wall: &mut kernel_wall,
+        });
+        let mut steal = |oversized: &Cst| -> bool {
+            if !config.variant.shares_with_cpu() {
+                return false;
+            }
+            let mut s = shared.borrow_mut();
+            let w = estimate_workload(oversized, tree).total;
+            if s.scheduler.would_assign_cpu(w) {
+                s.scheduler.book_cpu(w);
+                *s.stolen_entries += oversized.total_adjacency_entries();
+                s.cpu_queue.push(oversized.clone());
+                true
+            } else {
+                false
+            }
+        };
+        let mut sink = |partition: Cst| {
+            let mut s = shared.borrow_mut();
+            let w = estimate_workload(&partition, tree).total;
+            match s.scheduler.assign(w) {
+                crate::scheduler::Assignment::Cpu => s.cpu_queue.push(partition),
+                crate::scheduler::Assignment::Fpga => {
+                    let bytes = partition.size_bytes();
+                    *s.transfer_bytes += bytes;
+                    *s.cst_bytes_total += bytes;
+                    let t0 = Instant::now();
+                    let out = run_kernel(&partition, &plan, config.spec.no, config.collect);
+                    *s.kernel_wall += t0.elapsed();
+                    s.fpga_outputs.push(out);
+                }
+            }
+        };
+        partition_cst_with_steal(cst, order, &partition_config, &mut steal, &mut sink)
+    };
+    stolen += stats.stolen;
+    // Partition time excludes the inline (emulated) kernel execution.
+    let partition_time = partition_start.elapsed().saturating_sub(kernel_wall);
+
+    // --- Host: CPU share matching (Fig. 2 step 5). ---
+    let cpu_match_start = Instant::now();
+    let mut cpu_embeddings = 0u64;
+    let mut cpu_share_ns = 0.0f64;
+    for partition in &cpu_queue {
+        let stats = cst::enumerate_embeddings(partition, q, order, |_| true);
+        cpu_embeddings += stats.embeddings;
+        cpu_share_ns += stats.partials_generated as f64 * cpu_cost.ns_per_partial
+            + stats.edge_validations as f64 * cpu_cost.ns_per_edge_check;
+    }
+    let cpu_match_time = cpu_match_start.elapsed();
+    // The host's matching share runs on all cores (the paper's 8-core Xeon
+    // is idle once partitioning finishes); apply the parallel model.
+    let host_threads = 8.0 * cpu_cost.parallel_efficiency;
+    let modeled_cpu_match_sec = cpu_share_ns * 1e-9 / host_threads;
+
+    // --- Aggregate kernel outputs and model device time. ---
+    let mut counts = WorkloadCounts::default();
+    let mut embeddings = cpu_embeddings;
+    let mut collected = Vec::new();
+    let mut rounds = 0u64;
+    let mut cst_reads = 0u64;
+    let mut buffer_writes = 0u64;
+    let mut kernel_cycles = 0u64;
+    for out in &fpga_outputs {
+        counts.n += out.counts.n;
+        counts.m += out.counts.m;
+        embeddings += out.embeddings;
+        rounds += out.rounds;
+        cst_reads += out.cst_reads;
+        buffer_writes += out.buffer_writes;
+        kernel_cycles += config.variant.kernel_cycles(&model, out.counts);
+        if let CollectMode::Collect(cap) = config.collect {
+            for e in &out.collected {
+                if collected.len() < cap {
+                    collected.push(e.clone());
+                }
+            }
+        }
+    }
+    let kernel_time_sec = config.spec.cycles_to_sec(kernel_cycles);
+
+    // PCIe: one transfer per FPGA partition plus the result fetch.
+    let result_bytes = (embeddings as usize).saturating_mul(q.vertex_count() * 4);
+    let transfer_time_sec = fpga_outputs
+        .iter()
+        .map(|_| config.spec.pcie.latency_sec)
+        .sum::<f64>()
+        + config.spec.pcie.transfer_time_sec(transfer_bytes)
+        + config.spec.pcie.transfer_time_sec(result_bytes.min(transfer_bytes.max(1 << 20)));
+
+    // Modelled host times: construction touches every index entry once;
+    // partitioning touches every emitted partition's entries (rebuild) plus
+    // roughly the same again across recursion levels.
+    let modeled_build_sec = cpu_cost.index_time_sec(build_entries);
+    // Stolen CSTs were consumed before splitting — that is exactly the
+    // partition cost FAST-SHARE saves (Section VII-B).
+    let cpu_entries: usize = cpu_queue.iter().map(Cst::total_adjacency_entries).sum();
+    let partition_entries =
+        cst_bytes_total / 4 + cpu_entries.saturating_sub(stolen_entries);
+    let modeled_partition_sec = cpu_cost.partition_time_sec(2 * partition_entries);
+
+    Ok(FastReport {
+        variant: config.variant,
+        embeddings,
+        collected,
+        counts,
+        fpga_partitions: fpga_outputs.len(),
+        cpu_partitions: cpu_queue.len(),
+        stolen,
+        forced: stats.forced,
+        workload_cpu: scheduler.cpu_workload(),
+        workload_fpga: scheduler.fpga_workload(),
+        build_time,
+        partition_time,
+        cpu_match_time,
+        modeled_build_sec,
+        modeled_partition_sec,
+        modeled_cpu_match_sec,
+        kernel_cycles,
+        kernel_time_sec,
+        transfer_time_sec,
+        transfer_bytes,
+        rounds,
+        cst_reads,
+        buffer_writes,
+        cst_bytes_total,
+        wall_time: wall_start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph_core::generators::random_labelled_graph;
+    use graph_core::Label;
+    use matching::vf2_count;
+
+    fn l(x: u16) -> Label {
+        Label::new(x)
+    }
+
+    fn queries() -> Vec<QueryGraph> {
+        vec![
+            QueryGraph::new(vec![l(0), l(1), l(2)], &[(0, 1), (1, 2)]).unwrap(),
+            QueryGraph::new(vec![l(0), l(1), l(1)], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+            QueryGraph::new(
+                vec![l(0), l(1), l(0), l(1)],
+                &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn all_variants_agree_with_vf2() {
+        for (qi, q) in queries().into_iter().enumerate() {
+            let g = random_labelled_graph(45, 0.2, 3, 400 + qi as u64);
+            let expected = vf2_count(&q, &g);
+            for variant in Variant::ALL {
+                let config = FastConfig::test_small(variant);
+                let report = run_fast(&q, &g, &config).unwrap();
+                assert_eq!(
+                    report.embeddings, expected,
+                    "{variant} disagrees with VF2 on q{qi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variant_ladder_orders_modeled_kernel_time() {
+        let q = queries().remove(2);
+        let g = random_labelled_graph(60, 0.2, 2, 500);
+        let mut cycles = Vec::new();
+        for variant in [Variant::Dram, Variant::Basic, Variant::Task, Variant::Sep] {
+            let config = FastConfig::for_variant(variant);
+            let report = run_fast(&q, &g, &config).unwrap();
+            cycles.push((variant, report.kernel_cycles));
+        }
+        for w in cycles.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "{} ({}) should not be faster than {} ({})",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+
+    #[test]
+    fn share_variant_books_cpu_work() {
+        let q = queries().remove(1);
+        let g = random_labelled_graph(80, 0.25, 2, 501);
+        let mut config = FastConfig::test_small(Variant::Share);
+        config.delta = 0.25;
+        let report = run_fast(&q, &g, &config).unwrap();
+        // With a tiny BRAM there are many partitions; some must land on the
+        // CPU under a generous delta.
+        if report.fpga_partitions + report.cpu_partitions > 4 {
+            assert!(report.cpu_partitions > 0, "CPU got no work: {report:?}");
+            assert!(report.workload_cpu > 0.0);
+        }
+        assert_eq!(report.forced, 0);
+    }
+
+    #[test]
+    fn collect_mode_returns_valid_embeddings() {
+        let q = queries().remove(1);
+        let g = random_labelled_graph(40, 0.25, 2, 502);
+        let mut config = FastConfig::for_variant(Variant::Sep);
+        config.collect = CollectMode::Collect(10);
+        let report = run_fast(&q, &g, &config).unwrap();
+        assert!(report.collected.len() <= 10);
+        for emb in &report.collected {
+            for &(a, b) in q.edges() {
+                assert!(g.has_edge(emb[a.index()], emb[b.index()]));
+            }
+        }
+    }
+
+    #[test]
+    fn modeled_and_measured_totals_include_their_build() {
+        let q = queries().remove(0);
+        let g = random_labelled_graph(50, 0.2, 3, 503);
+        let report = run_fast(&q, &g, &FastConfig::default()).unwrap();
+        // Modelled total uses the *modelled* (paper-Xeon) host times.
+        assert!(report.modeled_total_sec() >= report.modeled_build_sec);
+        assert!(report.measured_total_sec() >= report.build_time.as_secs_f64());
+        assert!(report.kernel_time_sec >= 0.0);
+        assert!(report.transfer_time_sec > 0.0);
+        assert!(report.modeled_build_sec > 0.0);
+    }
+
+    #[test]
+    fn order_injection_matches_default() {
+        let q = queries().remove(2);
+        let g = random_labelled_graph(50, 0.2, 2, 504);
+        let default = run_fast(&q, &g, &FastConfig::default()).unwrap();
+        let root = select_root(&q, &g);
+        let tree = BfsTree::new(&q, root);
+        let order = graph_core::ceci_style_order(&q, &tree);
+        let injected =
+            run_fast_with_order(&q, &g, &FastConfig::default(), &order).unwrap();
+        assert_eq!(default.embeddings, injected.embeddings);
+    }
+}

@@ -1,0 +1,385 @@
+//! The FAST matching kernel (paper Algorithms 4-8), software-emulated.
+//!
+//! The kernel decomposes backtracking into pipelineable steps: a
+//! **Generator** expands up to `N_o` partial results per round from the
+//! deepest buffer level (Algorithm 5), a **Visited Validator** rejects
+//! mappings that reuse a data vertex (Algorithm 6), an **Edge Validator**
+//! probes the CST for the non-anchor backward edges (Algorithm 7), and a
+//! **Synchronizer** routes surviving partials back into the BRAM-only buffer
+//! or out as complete embeddings (Algorithm 8).
+//!
+//! The emulation is *functionally exact* (it produces the same embeddings a
+//! real kernel would) and *workload exact*: it counts `N` (partial results
+//! generated) and `M` (edge-validation tasks) — the two quantities the
+//! paper's cycle equations (1)-(4) consume — plus every CST/buffer memory
+//! touch for the BRAM/DRAM accounting of Fig. 7.
+
+use crate::buffer::{Partial, ResultsBuffer};
+use crate::plan::KernelPlan;
+use cst::Cst;
+use fpga_sim::WorkloadCounts;
+use graph_core::VertexId;
+
+/// What to do with complete embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectMode {
+    /// Count only (the benchmark configuration).
+    CountOnly,
+    /// Keep up to the given number of embeddings.
+    Collect(usize),
+}
+
+/// Counters and results of one kernel run over one CST partition.
+#[derive(Debug, Clone, Default)]
+pub struct KernelOutput {
+    /// Embeddings found.
+    pub embeddings: u64,
+    /// Collected embeddings (query-vertex indexed), if requested.
+    pub collected: Vec<Vec<VertexId>>,
+    /// `N` and `M` for the cycle model.
+    pub counts: WorkloadCounts,
+    /// Rounds executed (outer `while P ≠ ∅` iterations, Algorithm 4).
+    pub rounds: u64,
+    /// CST reads (adjacency fetches + edge probes) — BRAM or DRAM resident
+    /// depending on the variant.
+    pub cst_reads: u64,
+    /// Buffer reads/writes (`P` traffic).
+    pub buffer_reads: u64,
+    pub buffer_writes: u64,
+    /// Expansions rejected by visited validation.
+    pub visited_rejections: u64,
+    /// Expansions rejected by edge validation.
+    pub edge_rejections: u64,
+    /// Peak per-level buffer occupancy.
+    pub buffer_high_water: Vec<usize>,
+}
+
+/// Runs the kernel over one CST partition.
+///
+/// `no` is the per-round expansion budget `N_o`; the partial-results buffer
+/// holds `(|V(q)|-1) × N_o` slots in BRAM and never spills (Section VI-B).
+pub fn run_kernel(cst: &Cst, plan: &KernelPlan, no: u32, mode: CollectMode) -> KernelOutput {
+    let qlen = plan.len();
+    let mut out = KernelOutput::default();
+    if qlen == 0 {
+        return out;
+    }
+    let root = plan.root();
+    let root_count = cst.candidate_count(root) as u32;
+    if qlen == 1 {
+        // Degenerate single-vertex query: every root candidate is complete.
+        out.embeddings = root_count as u64;
+        out.counts.n = root_count as u64;
+        if let CollectMode::Collect(cap) = mode {
+            for i in 0..root_count.min(cap as u32) {
+                out.collected.push(vec![cst.candidate(root, i)]);
+            }
+        }
+        return out;
+    }
+
+    let mut buffer = ResultsBuffer::new(qlen, no as usize);
+    let mut root_cursor: u32 = 0;
+
+    loop {
+        // --- Root injection: when P drains, map the next N_o root
+        //     candidates (Algorithm 4 lines 2-3, sliced to respect the
+        //     buffer's per-level bound). ---
+        if buffer.is_empty() {
+            if root_cursor >= root_count {
+                break;
+            }
+            let end = (root_cursor + no).min(root_count);
+            for i in root_cursor..end {
+                buffer.push(Partial::root(i));
+                out.counts.n += 1;
+                out.buffer_writes += 1;
+            }
+            root_cursor = end;
+            out.rounds += 1;
+            continue;
+        }
+
+        // --- One Generator round: expand partials of the deepest level
+        //     (they all map the same next query vertex, as required for the
+        //     fixed-function candidate fetch). ---
+        out.rounds += 1;
+        let mut produced: u32 = 0;
+        let first = buffer.pop_deepest().expect("buffer non-empty");
+        out.buffer_reads += 1;
+        let round_level = first.level();
+        let depth_plan = plan.depth(round_level);
+        let u = depth_plan.vertex;
+        let anchor_u = plan.depth(depth_plan.anchor_depth).vertex;
+
+        let mut current = Some(first);
+        while let Some(pi) = current.take() {
+            debug_assert_eq!(pi.level(), round_level);
+            // Candidate list from the anchor's CST adjacency (Alg. 5 line 5).
+            let anchor_idx = pi.mapping(depth_plan.anchor_depth);
+            let list = cst.neighbors(anchor_u, anchor_idx, u);
+            out.cst_reads += 1; // adjacency-list header fetch
+            let start = pi.resume_offset as usize;
+
+            let budget_left = (no - produced) as usize;
+            let take = (list.len() - start).min(budget_left);
+            for &j in &list[start..start + take] {
+                produced += 1;
+                out.counts.n += 1;
+                out.cst_reads += 1; // candidate word fetch
+                let v = cst.candidate(u, j);
+
+                // Visited Validator (Algorithm 6): compare v against every
+                // mapped vertex of pi in parallel (array partitioning). The
+                // hardware evaluates the full comparison tree; no early exit.
+                let mut visited_ok = true;
+                for d in 0..round_level {
+                    let mapped = cst.candidate(plan.depth(d).vertex, pi.mapping(d));
+                    if mapped == v {
+                        visited_ok = false;
+                    }
+                }
+
+                // Edge Validator (Algorithm 7): the Generator emits one t_n
+                // per non-anchor backward neighbour for *every* p_o
+                // (Algorithm 5 lines 10-12) — validators run concurrently
+                // with no short-circuiting, so M counts them all.
+                let mut edges_ok = true;
+                for &bd in &depth_plan.validate_depths {
+                    out.counts.m += 1;
+                    out.cst_reads += 1; // O(1) partitioned-array probe
+                    let bu = plan.depth(bd).vertex;
+                    if !cst.has_candidate_edge(bu, pi.mapping(bd), u, j) {
+                        edges_ok = false;
+                    }
+                }
+
+                // Synchronizer (Algorithm 8): discard on any zero bit.
+                if !visited_ok {
+                    out.visited_rejections += 1;
+                    continue;
+                }
+                if !edges_ok {
+                    out.edge_rejections += 1;
+                    continue;
+                }
+
+                let po = pi.extended(j);
+                if po.level() == qlen {
+                    out.embeddings += 1;
+                    if let CollectMode::Collect(cap) = mode {
+                        if out.collected.len() < cap {
+                            let mut emb = vec![VertexId::new(0); qlen];
+                            for d in 0..qlen {
+                                emb[plan.depth(d).vertex.index()] =
+                                    cst.candidate(plan.depth(d).vertex, po.mapping(d));
+                            }
+                            out.collected.push(emb);
+                        }
+                    }
+                    // Complete results stream to DRAM; not buffered.
+                } else {
+                    buffer.push(po);
+                    out.buffer_writes += 1;
+                }
+            }
+
+            if start + take < list.len() {
+                // Round budget exhausted mid-list: remember the offset and
+                // resume next round ("the rest candidates will be mapped
+                // later", Section VI-B).
+                let mut rest = pi;
+                rest.resume_offset = (start + take) as u32;
+                buffer.push_front(rest);
+                break;
+            }
+
+            if produced >= no {
+                break;
+            }
+            // Pop the next partial *of the same level*: the Generator is
+            // configured for a single u per round, and the deeper partials
+            // produced this round wait for the next round.
+            match buffer.pop_level(round_level) {
+                Some(p) => {
+                    out.buffer_reads += 1;
+                    current = Some(p);
+                }
+                None => break,
+            }
+        }
+    }
+
+    out.buffer_high_water = buffer.high_water().to_vec();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cst::build_cst;
+    use graph_core::generators::random_labelled_graph;
+    use graph_core::{BfsTree, Label, MatchingOrder, QueryGraph, QueryVertexId};
+
+    fn l(x: u16) -> Label {
+        Label::new(x)
+    }
+
+    fn qv(x: usize) -> QueryVertexId {
+        QueryVertexId::from_index(x)
+    }
+
+    fn build(
+        labels: Vec<Label>,
+        edges: &[(usize, usize)],
+        n: usize,
+        p: f64,
+        seed: u64,
+    ) -> (QueryGraph, graph_core::Graph, BfsTree, MatchingOrder, Cst) {
+        let q = QueryGraph::new(labels, edges).unwrap();
+        let g = random_labelled_graph(n, p, 3, seed);
+        let tree = BfsTree::new(&q, qv(0));
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).unwrap();
+        let cst = build_cst(&q, &g, &tree);
+        (q, g, tree, order, cst)
+    }
+
+    #[test]
+    fn kernel_matches_cst_enumeration() {
+        for seed in [1, 2, 3, 4, 5] {
+            let (q, _, tree, order, cstx) = build(
+                vec![l(0), l(1), l(0), l(1)],
+                &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+                45,
+                0.2,
+                seed,
+            );
+            let expected = cst::count_embeddings(&cstx, &q, &order);
+            let plan = KernelPlan::new(&q, &order, &tree).unwrap();
+            for no in [1, 2, 7, 64, 4096] {
+                let out = run_kernel(&cstx, &plan, no, CollectMode::CountOnly);
+                assert_eq!(out.embeddings, expected, "seed {seed} no {no}");
+            }
+        }
+    }
+
+    #[test]
+    fn collected_embeddings_are_valid() {
+        let (q, g, tree, order, cstx) = build(
+            vec![l(0), l(1), l(1)],
+            &[(0, 1), (1, 2), (0, 2)],
+            40,
+            0.25,
+            9,
+        );
+        let plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        let out = run_kernel(&cstx, &plan, 16, CollectMode::Collect(1000));
+        assert_eq!(out.collected.len() as u64, out.embeddings.min(1000));
+        for emb in &out.collected {
+            // Injective and edge-respecting.
+            for a in q.vertices() {
+                for b in q.vertices() {
+                    if a != b {
+                        assert_ne!(emb[a.index()], emb[b.index()]);
+                    }
+                }
+            }
+            for &(a, b) in q.edges() {
+                assert!(g.has_edge(emb[a.index()], emb[b.index()]));
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_levels_bounded_by_no() {
+        let (_, _, tree, order, cstx) = build(
+            vec![l(0), l(1), l(0), l(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+            60,
+            0.15,
+            11,
+        );
+        let q = QueryGraph::new(
+            vec![l(0), l(1), l(0), l(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        .unwrap();
+        let plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        for no in [1u32, 3, 8, 64] {
+            let out = run_kernel(&cstx, &plan, no, CollectMode::CountOnly);
+            for (lvl, &hw) in out.buffer_high_water.iter().enumerate() {
+                assert!(
+                    hw <= no as usize,
+                    "level {} high water {hw} exceeds No {no}",
+                    lvl + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_are_no_invariant() {
+        // N and M are properties of the search space, not of the round size.
+        let (q, _, tree, order, cstx) = build(
+            vec![l(0), l(1), l(0)],
+            &[(0, 1), (1, 2), (0, 2)],
+            50,
+            0.2,
+            13,
+        );
+        let plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        let base = run_kernel(&cstx, &plan, 1, CollectMode::CountOnly);
+        for no in [2u32, 16, 256] {
+            let out = run_kernel(&cstx, &plan, no, CollectMode::CountOnly);
+            assert_eq!(out.counts, base.counts, "no={no}");
+            assert_eq!(out.embeddings, base.embeddings);
+        }
+        let _ = q;
+    }
+
+    #[test]
+    fn smaller_no_means_more_rounds() {
+        let (_, _, tree, order, cstx) = build(
+            vec![l(0), l(1), l(0)],
+            &[(0, 1), (1, 2), (0, 2)],
+            50,
+            0.25,
+            17,
+        );
+        let q = QueryGraph::new(vec![l(0), l(1), l(0)], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        let small = run_kernel(&cstx, &plan, 1, CollectMode::CountOnly);
+        let large = run_kernel(&cstx, &plan, 1024, CollectMode::CountOnly);
+        assert!(small.rounds >= large.rounds);
+    }
+
+    #[test]
+    fn empty_cst_returns_zero() {
+        let q = QueryGraph::new(vec![l(9), l(1)], &[(0, 1)]).unwrap();
+        let g = random_labelled_graph(20, 0.2, 2, 23);
+        let tree = BfsTree::new(&q, qv(0));
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).unwrap();
+        let cstx = build_cst(&q, &g, &tree);
+        let plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        let out = run_kernel(&cstx, &plan, 64, CollectMode::CountOnly);
+        assert_eq!(out.embeddings, 0);
+    }
+
+    #[test]
+    fn memory_traffic_reported() {
+        let (_, _, tree, order, cstx) = build(
+            vec![l(0), l(1), l(0)],
+            &[(0, 1), (1, 2), (0, 2)],
+            50,
+            0.25,
+            29,
+        );
+        let q = QueryGraph::new(vec![l(0), l(1), l(0)], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        let out = run_kernel(&cstx, &plan, 64, CollectMode::CountOnly);
+        if out.counts.n > 0 {
+            assert!(out.cst_reads >= out.counts.n);
+            assert!(out.buffer_writes > 0);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Bounded FIFOs (the inter-module streams of Fig. 5(b)/(c)).
+//!
+//! Task parallelism on the FPGA is "achieved by taking advantage of extra
+//! buffering introduced between the modules ... implemented by FIFOs"
+//! (Section VI-C). The simulator uses the same abstraction; stall counters
+//! feed the pipeline statistics.
+
+use std::collections::VecDeque;
+
+/// A bounded single-producer single-consumer queue with stall accounting.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Rejected pushes (producer had to stall).
+    push_stalls: u64,
+    /// Failed pops (consumer had to idle).
+    pop_stalls: u64,
+    /// Highest occupancy observed.
+    high_water: usize,
+    /// Total items that passed through.
+    total_pushed: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity (> 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            push_stalls: 0,
+            pop_stalls: 0,
+            high_water: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Attempts to enqueue; on a full FIFO records a stall and returns the
+    /// item back to the caller.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() == self.capacity {
+            self.push_stalls += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Attempts to dequeue; on an empty FIFO records a stall.
+    pub fn pop(&mut self) -> Option<T> {
+        match self.items.pop_front() {
+            Some(x) => Some(x),
+            None => {
+                self.pop_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Producer stalls observed.
+    pub fn push_stalls(&self) -> u64 {
+        self.push_stalls
+    }
+
+    /// Consumer stalls observed.
+    pub fn pop_stalls(&self) -> u64 {
+        self.pop_stalls
+    }
+
+    /// Peak occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total successfully enqueued items.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.pop(), Some(1));
+        f.push(9).unwrap();
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(9));
+    }
+
+    #[test]
+    fn full_push_stalls_and_returns_item() {
+        let mut f = Fifo::new(1);
+        f.push(1).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push(2), Err(2));
+        assert_eq!(f.push_stalls(), 1);
+    }
+
+    #[test]
+    fn empty_pop_stalls() {
+        let mut f: Fifo<u8> = Fifo::new(1);
+        assert_eq!(f.pop(), None);
+        assert_eq!(f.pop_stalls(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        for _ in 0..5 {
+            f.pop();
+        }
+        assert_eq!(f.high_water(), 5);
+        assert_eq!(f.total_pushed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Memory access accounting.
+//!
+//! The kernel charges every CST/buffer access through a [`MemoryModel`] so
+//! that the same matching code yields FAST-BASIC (BRAM-resident CST) or
+//! FAST-DRAM (DRAM-resident CST) cycle counts purely by configuration —
+//! exactly the comparison of the paper's Fig. 7.
+
+/// Which physical memory a region models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// On-chip block RAM: 1-cycle reads, tens of MB.
+    Bram,
+    /// Off-chip DRAM: ~8-cycle reads, tens of GB.
+    Dram,
+}
+
+/// Byte capacity + latency + access counters for one memory region.
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    kind: MemoryKind,
+    capacity_bytes: usize,
+    read_latency: u32,
+    write_latency: u32,
+    allocated_bytes: usize,
+    reads: u64,
+    writes: u64,
+}
+
+/// Error returned when an allocation exceeds capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    pub requested: usize,
+    pub available: usize,
+}
+
+impl std::fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "allocation of {} bytes exceeds available {} bytes",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+impl MemoryModel {
+    /// A BRAM region with the given capacity and read latency.
+    pub fn bram(capacity_bytes: usize, read_latency: u32) -> Self {
+        MemoryModel {
+            kind: MemoryKind::Bram,
+            capacity_bytes,
+            read_latency,
+            write_latency: 1,
+            allocated_bytes: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// A DRAM region with the given capacity and read latency.
+    pub fn dram(capacity_bytes: usize, read_latency: u32) -> Self {
+        MemoryModel {
+            kind: MemoryKind::Dram,
+            capacity_bytes,
+            read_latency,
+            write_latency: 4,
+            allocated_bytes: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Which memory this region models.
+    pub fn kind(&self) -> MemoryKind {
+        self.kind
+    }
+
+    /// Read latency in cycles.
+    #[inline]
+    pub fn read_latency(&self) -> u32 {
+        self.read_latency
+    }
+
+    /// Write latency in cycles.
+    #[inline]
+    pub fn write_latency(&self) -> u32 {
+        self.write_latency
+    }
+
+    /// Reserves `bytes`; fails when the region is full (the trigger for CST
+    /// partitioning on BRAM).
+    pub fn allocate(&mut self, bytes: usize) -> Result<(), CapacityError> {
+        let available = self.capacity_bytes - self.allocated_bytes;
+        if bytes > available {
+            return Err(CapacityError {
+                requested: bytes,
+                available,
+            });
+        }
+        self.allocated_bytes += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` back to the region.
+    pub fn free(&mut self, bytes: usize) {
+        self.allocated_bytes = self.allocated_bytes.saturating_sub(bytes);
+    }
+
+    /// Whether `bytes` would fit right now.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.capacity_bytes - self.allocated_bytes
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes
+    }
+
+    /// Total capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Charges `n` reads, returning the cycles they cost.
+    #[inline]
+    pub fn charge_reads(&mut self, n: u64) -> u64 {
+        self.reads += n;
+        n * self.read_latency as u64
+    }
+
+    /// Charges `n` writes, returning the cycles they cost.
+    #[inline]
+    pub fn charge_writes(&mut self, n: u64) -> u64 {
+        self.writes += n;
+        n * self.write_latency as u64
+    }
+
+    /// Total reads charged.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes charged.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_tracks_and_rejects_overflow() {
+        let mut m = MemoryModel::bram(100, 1);
+        m.allocate(60).unwrap();
+        assert!(m.fits(40));
+        assert!(!m.fits(41));
+        let err = m.allocate(41).unwrap_err();
+        assert_eq!(err.available, 40);
+        m.free(60);
+        assert!(m.fits(100));
+    }
+
+    #[test]
+    fn read_write_charging() {
+        let mut bram = MemoryModel::bram(1024, 1);
+        let mut dram = MemoryModel::dram(1024, 8);
+        assert_eq!(bram.charge_reads(10), 10);
+        assert_eq!(dram.charge_reads(10), 80);
+        assert_eq!(bram.reads(), 10);
+        assert_eq!(dram.reads(), 10);
+        assert!(dram.charge_writes(2) > 0);
+        assert_eq!(dram.writes(), 2);
+    }
+
+    #[test]
+    fn latency_ratio_matches_paper() {
+        let bram = MemoryModel::bram(1, 1);
+        let dram = MemoryModel::dram(1, 8);
+        // "the read latency of BRAM is 1 cycle while DRAM is about 7-8".
+        assert_eq!(dram.read_latency() / bram.read_latency(), 8);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut m = MemoryModel::bram(10, 1);
+        m.free(100);
+        assert_eq!(m.allocated_bytes(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Device specifications.
+//!
+//! Defaults model the paper's target: a Xilinx Alveo U200 Data Center
+//! Accelerator Card (Section VII setup) — 35 MB on-chip BRAM, 64 GB off-chip
+//! DRAM, 300 MHz kernel clock, PCIe gen3 x16 to the host, BRAM reads in 1
+//! cycle vs ~8 cycles from DRAM (Section II-B / V-B).
+
+/// PCIe link model (host ↔ card transfers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieSpec {
+    /// Sustained effective bandwidth in bytes/second. PCIe gen3 x16 peaks at
+    /// ~15.75 GB/s; ~12 GB/s is a realistic effective figure.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per-transfer setup latency in seconds (driver + DMA descriptor).
+    pub latency_sec: f64,
+}
+
+impl Default for PcieSpec {
+    fn default() -> Self {
+        PcieSpec {
+            bandwidth_bytes_per_sec: 12.0e9,
+            latency_sec: 10.0e-6,
+        }
+    }
+}
+
+impl PcieSpec {
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time_sec(&self, bytes: usize) -> f64 {
+        self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+/// FPGA card specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaSpec {
+    /// On-chip BRAM capacity in bytes (Alveo U200: 35 MB).
+    pub bram_bytes: usize,
+    /// Off-chip DRAM capacity in bytes (Alveo U200: 64 GB).
+    pub dram_bytes: usize,
+    /// Kernel clock in MHz (the paper's design runs at 300 MHz).
+    pub clock_mhz: f64,
+    /// BRAM read latency in cycles (1).
+    pub bram_read_latency: u32,
+    /// DRAM read latency in cycles (the paper quotes 7-8; we use 8).
+    pub dram_read_latency: u32,
+    /// Maximum access ports to one array after array partitioning
+    /// (`Port_max`, Section VI-A) — bounds `D_CST` via δ_D.
+    pub port_max: u32,
+    /// `N_o`: maximum newly expanded partial results per round
+    /// (Section VI-B).
+    pub no: u32,
+    /// Depth of the inter-module FIFOs used by the task-parallel designs.
+    pub fifo_depth: usize,
+    /// Host link.
+    pub pcie: PcieSpec,
+}
+
+impl Default for FpgaSpec {
+    fn default() -> Self {
+        FpgaSpec {
+            bram_bytes: 35 << 20,
+            dram_bytes: 64 << 30,
+            clock_mhz: 300.0,
+            bram_read_latency: 1,
+            dram_read_latency: 8,
+            port_max: 4096,
+            no: 4096,
+            fifo_depth: 512,
+            pcie: PcieSpec::default(),
+        }
+    }
+}
+
+impl FpgaSpec {
+    /// Seconds per kernel cycle.
+    #[inline]
+    pub fn cycle_time_sec(&self) -> f64 {
+        1.0 / (self.clock_mhz * 1.0e6)
+    }
+
+    /// Converts a cycle count to seconds at this clock.
+    #[inline]
+    pub fn cycles_to_sec(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_time_sec()
+    }
+
+    /// The BRAM budget available for a CST partition after reserving space
+    /// for the partial-results buffer (`(|V(q)|-1) × N_o` slots of
+    /// `bytes_per_partial` each, Section VI-B).
+    pub fn cst_bram_budget(&self, query_vertices: usize, bytes_per_partial: usize) -> usize {
+        let buffer = query_vertices.saturating_sub(1) * self.no as usize * bytes_per_partial;
+        self.bram_bytes.saturating_sub(buffer)
+    }
+
+    /// A laptop-scale spec for tests: small BRAM so partitioning triggers.
+    pub fn test_small() -> Self {
+        FpgaSpec {
+            bram_bytes: 64 << 10,
+            dram_bytes: 16 << 20,
+            clock_mhz: 300.0,
+            bram_read_latency: 1,
+            dram_read_latency: 8,
+            port_max: 64,
+            no: 64,
+            fifo_depth: 16,
+            pcie: PcieSpec::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_alveo_u200() {
+        let s = FpgaSpec::default();
+        assert_eq!(s.bram_bytes, 35 * 1024 * 1024);
+        assert_eq!(s.dram_bytes, 64 * 1024 * 1024 * 1024);
+        assert_eq!(s.clock_mhz, 300.0);
+        assert_eq!(s.dram_read_latency / s.bram_read_latency, 8);
+    }
+
+    #[test]
+    fn cycle_time() {
+        let s = FpgaSpec::default();
+        let one_second = s.cycles_to_sec(300_000_000);
+        assert!((one_second - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_transfer_time_scales_with_bytes() {
+        let p = PcieSpec::default();
+        let small = p.transfer_time_sec(1 << 10);
+        let big = p.transfer_time_sec(1 << 30);
+        assert!(big > small);
+        // 1 GiB at 12 GB/s ≈ 89 ms.
+        assert!((big - (10.0e-6 + (1u64 << 30) as f64 / 12.0e9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cst_budget_reserves_buffer() {
+        let s = FpgaSpec::default();
+        let full = s.cst_bram_budget(1, 32);
+        assert_eq!(full, s.bram_bytes);
+        let with_buffer = s.cst_bram_budget(6, 32);
+        assert_eq!(with_buffer, s.bram_bytes - 5 * s.no as usize * 32);
+    }
+
+    #[test]
+    fn budget_saturates_at_zero() {
+        let s = FpgaSpec::test_small();
+        assert_eq!(s.cst_bram_budget(1000, 1024), 0);
+    }
+}

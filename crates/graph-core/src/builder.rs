@@ -1,0 +1,235 @@
+//! Incremental construction of [`Graph`]s.
+//!
+//! The builder accepts vertices and undirected edges in any order, tolerates
+//! duplicate and self-loop insertions (both are rejected: the paper studies
+//! simple graphs), and produces a compact CSR [`Graph`] with sorted adjacency
+//! lists in a single finalisation pass.
+
+use crate::csr::Graph;
+use crate::types::{Label, VertexId};
+
+/// Errors produced while building a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An edge references a vertex id that was never added.
+    UnknownVertex(VertexId),
+    /// A self loop `(v, v)` was inserted; the paper studies simple graphs.
+    SelfLoop(VertexId),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownVertex(v) => write!(f, "edge references unknown vertex {v:?}"),
+            BuildError::SelfLoop(v) => write!(f, "self loop on vertex {v:?} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Graph`].
+///
+/// # Example
+/// ```
+/// use graph_core::{GraphBuilder, Label, VertexId};
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_vertex(Label::new(0));
+/// let c = b.add_vertex(Label::new(1));
+/// b.add_edge(a, c).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.vertex_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// assert!(g.has_edge(a, c));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    /// Undirected edges, stored once with `min(u,v) <= max(u,v)` order
+    /// normalised at finalisation time.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with pre-reserved capacity for `vertices` vertices
+    /// and `edges` undirected edges.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        GraphBuilder {
+            labels: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a vertex with the given label, returning its id.
+    ///
+    /// Vertex ids are assigned densely in insertion order.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = VertexId::from_index(self.labels.len());
+        self.labels.push(label);
+        id
+    }
+
+    /// Adds `n` vertices sharing the same label; returns the id of the first.
+    pub fn add_vertices(&mut self, n: usize, label: Label) -> VertexId {
+        let first = VertexId::from_index(self.labels.len());
+        self.labels.extend(std::iter::repeat_n(label, n));
+        first
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edge insertions so far (duplicates not yet removed).
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// Duplicate insertions are deduplicated at [`GraphBuilder::build`] time.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), BuildError> {
+        if u == v {
+            return Err(BuildError::SelfLoop(u));
+        }
+        let n = self.labels.len();
+        if u.index() >= n {
+            return Err(BuildError::UnknownVertex(u));
+        }
+        if v.index() >= n {
+            return Err(BuildError::UnknownVertex(v));
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(())
+    }
+
+    /// Finalises the builder into a CSR [`Graph`].
+    ///
+    /// Duplicate edges are removed; adjacency lists come out sorted so that
+    /// [`Graph::has_edge`] can binary-search.
+    pub fn build(mut self) -> Graph {
+        // Deduplicate undirected edges.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.labels.len();
+        let mut degrees = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            degrees[u.index()] += 1;
+            degrees[v.index()] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d as usize;
+            offsets.push(acc);
+        }
+
+        let mut neighbors = vec![VertexId::new(0); acc];
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+            neighbors[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+        // Sort each adjacency list; edges were globally sorted by (u, v) so
+        // the u-side lists are already sorted, but the v-side entries are
+        // interleaved. A per-list sort keeps the code simple and is O(E log d).
+        for i in 0..n {
+            neighbors[offsets[i]..offsets[i + 1]].sort_unstable();
+        }
+
+        Graph::from_csr_parts(self.labels, offsets, neighbors, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(x: u16) -> Label {
+        Label::new(x)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn vertices_only() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(l(0));
+        b.add_vertex(l(1));
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(VertexId::new(0)), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(l(0));
+        let c = b.add_vertex(l(0));
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, a).unwrap();
+        b.add_edge(a, c).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(c), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(l(0));
+        assert_eq!(b.add_edge(a, a), Err(BuildError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn unknown_vertex_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(l(0));
+        let ghost = VertexId::new(99);
+        assert_eq!(b.add_edge(a, ghost), Err(BuildError::UnknownVertex(ghost)));
+        assert_eq!(b.add_edge(ghost, a), Err(BuildError::UnknownVertex(ghost)));
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|_| b.add_vertex(l(0))).collect();
+        // Insert star edges in reverse order.
+        for &v in vs[1..].iter().rev() {
+            b.add_edge(vs[0], v).unwrap();
+        }
+        let g = b.build();
+        let ns = g.neighbors(vs[0]);
+        assert!(ns.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ns.len(), 4);
+    }
+
+    #[test]
+    fn add_vertices_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_vertices(10, l(3));
+        assert_eq!(first, VertexId::new(0));
+        assert_eq!(b.vertex_count(), 10);
+        let g = b.build();
+        assert!((0..10).all(|i| g.label(VertexId::new(i)) == l(3)));
+    }
+}

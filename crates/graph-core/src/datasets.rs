@@ -1,0 +1,113 @@
+//! The scaled-down dataset ladder mirroring the paper's `DG01`–`DG60`.
+//!
+//! The paper's datasets are LDBC SNB networks at scale factors 1/3/10/60
+//! (Table III: 17.2M – 1.25B edges). This reproduction keeps the 1:3:10:60
+//! ratio but shrinks the absolute size by ~100x so every experiment runs on
+//! a laptop; see DESIGN.md §6 for the substitution rationale.
+
+use crate::csr::Graph;
+use crate::generators::{generate_ldbc, LdbcParams};
+
+/// Identifiers of the benchmark datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    Dg01,
+    Dg03,
+    Dg10,
+    Dg60,
+}
+
+impl DatasetId {
+    /// All datasets, smallest first.
+    pub const ALL: [DatasetId; 4] = [
+        DatasetId::Dg01,
+        DatasetId::Dg03,
+        DatasetId::Dg10,
+        DatasetId::Dg60,
+    ];
+
+    /// The paper's name for this dataset.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Dg01 => "DG01",
+            DatasetId::Dg03 => "DG03",
+            DatasetId::Dg10 => "DG10",
+            DatasetId::Dg60 => "DG60",
+        }
+    }
+
+    /// The LDBC scale factor `x` of `DGx` (relative size).
+    pub fn scale_factor(self) -> f64 {
+        match self {
+            DatasetId::Dg01 => 1.0,
+            DatasetId::Dg03 => 3.0,
+            DatasetId::Dg10 => 10.0,
+            DatasetId::Dg60 => 60.0,
+        }
+    }
+
+    /// Deterministic generator seed; fixed so that every experiment across
+    /// the repository sees the same graphs.
+    pub fn seed(self) -> u64 {
+        match self {
+            DatasetId::Dg01 => 0x01,
+            DatasetId::Dg03 => 0x03,
+            DatasetId::Dg10 => 0x10,
+            DatasetId::Dg60 => 0x60,
+        }
+    }
+
+    /// Generates the dataset.
+    ///
+    /// `DG60` is ~1.8M vertices / ~11M edges; generation takes a few seconds.
+    pub fn generate(self) -> Graph {
+        let params = LdbcParams::with_scale_factor(self.scale_factor());
+        generate_ldbc(&params, self.seed())
+    }
+
+    /// Parses a dataset name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "DG01" => Some(DatasetId::Dg01),
+            "DG03" => Some(DatasetId::Dg03),
+            "DG10" => Some(DatasetId::Dg10),
+            "DG60" => Some(DatasetId::Dg60),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_parse_roundtrip() {
+        for d in DatasetId::ALL {
+            assert_eq!(DatasetId::parse(d.name()), Some(d));
+            assert_eq!(DatasetId::parse(&d.name().to_lowercase()), Some(d));
+        }
+        assert_eq!(DatasetId::parse("DG99"), None);
+    }
+
+    #[test]
+    fn scale_factors_preserve_paper_ratios() {
+        let sf: Vec<f64> = DatasetId::ALL.iter().map(|d| d.scale_factor()).collect();
+        assert_eq!(sf, vec![1.0, 3.0, 10.0, 60.0]);
+    }
+
+    #[test]
+    fn dg01_generates_at_mini_scale() {
+        let g = DatasetId::Dg01.generate();
+        // DESIGN.md §6 ladder: ~30K vertices, >100K edges, 11 labels.
+        assert!(g.vertex_count() > 20_000 && g.vertex_count() < 60_000);
+        assert!(g.edge_count() > 80_000);
+        assert_eq!(g.label_count(), 11);
+    }
+}

@@ -1,0 +1,14 @@
+//! Synthetic data-graph generators.
+//!
+//! The paper evaluates on LDBC-SNB social networks (Table III). Without the
+//! LDBC toolchain, [`ldbc`] generates a schema-faithful synthetic social
+//! network with the same 11 labels, power-law activity/popularity skew, and a
+//! scale-factor ladder preserving the paper's 1 : 3 : 10 : 60 dataset ratios.
+//! [`random`] provides labelled Erdős–Rényi and power-law graphs for tests
+//! and property-based fuzzing.
+
+pub mod ldbc;
+pub mod random;
+
+pub use ldbc::{generate_ldbc, label_name, labels, LdbcParams};
+pub use random::{random_labelled_graph, random_power_law_graph};

@@ -1,0 +1,265 @@
+//! Text serialisation in the de-facto subgraph-matching benchmark format.
+//!
+//! The format used by CFL-Match, CECI, DAF and the in-memory matching survey:
+//!
+//! ```text
+//! t <num_vertices> <num_edges>
+//! v <vertex_id> <label> <degree>
+//! ...
+//! e <vertex_a> <vertex_b>
+//! ...
+//! ```
+//!
+//! Vertex ids must be dense `0..n`. The degree column is advisory and
+//! re-derived on load.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::query::{QueryGraph, QueryError};
+use crate::types::{Label, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors raised while parsing the text format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse { line: usize, message: String },
+    /// The parsed query graph failed validation.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Query(e) => write!(f, "invalid query graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parsed raw content shared by graph and query readers.
+struct RawGraph {
+    labels: Vec<Label>,
+    edges: Vec<(usize, usize)>,
+}
+
+fn read_raw<R: Read>(reader: R) -> Result<RawGraph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut labels: Vec<Option<Label>> = Vec::new();
+    let mut edges = Vec::new();
+    let mut declared: Option<(usize, usize)> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("t") => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad vertex count"))?;
+                let m: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad edge count"))?;
+                declared = Some((n, m));
+                labels.resize(n, None);
+            }
+            Some("v") => {
+                let id: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad vertex id"))?;
+                let label: u16 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad label"))?;
+                if id >= labels.len() {
+                    labels.resize(id + 1, None);
+                }
+                labels[id] = Some(Label::new(label));
+            }
+            Some("e") => {
+                let a: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad edge endpoint"))?;
+                let b: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad edge endpoint"))?;
+                edges.push((a, b));
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, format!("unknown record type '{other}'")))
+            }
+            None => {}
+        }
+    }
+
+    let labels: Vec<Label> = labels
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| l.ok_or_else(|| parse_err(0, format!("vertex {i} missing 'v' record"))))
+        .collect::<Result<_, _>>()?;
+
+    if let Some((n, m)) = declared {
+        if labels.len() != n {
+            return Err(parse_err(
+                0,
+                format!("header declares {n} vertices but {} found", labels.len()),
+            ));
+        }
+        if edges.len() != m {
+            return Err(parse_err(
+                0,
+                format!("header declares {m} edges but {} found", edges.len()),
+            ));
+        }
+    }
+    Ok(RawGraph { labels, edges })
+}
+
+/// Reads a data graph from the text format.
+pub fn read_graph_text<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let raw = read_raw(reader)?;
+    let mut b = GraphBuilder::with_capacity(raw.labels.len(), raw.edges.len());
+    for l in &raw.labels {
+        b.add_vertex(*l);
+    }
+    for (i, &(a, b_)) in raw.edges.iter().enumerate() {
+        b.add_edge(VertexId::from_index(a), VertexId::from_index(b_))
+            .map_err(|e| parse_err(0, format!("edge {i}: {e}")))?;
+    }
+    Ok(b.build())
+}
+
+/// Reads a query graph from the text format.
+pub fn read_query_text<R: Read>(reader: R) -> Result<QueryGraph, IoError> {
+    let raw = read_raw(reader)?;
+    QueryGraph::new(raw.labels, &raw.edges).map_err(IoError::Query)
+}
+
+/// Writes a data graph in the text format.
+pub fn write_graph_text<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "t {} {}", g.vertex_count(), g.edge_count())?;
+    for v in g.vertices() {
+        writeln!(w, "v {} {} {}", v.raw(), g.label(v).raw(), g.degree(v))?;
+    }
+    for (a, b) in g.edges() {
+        writeln!(w, "e {} {}", a.raw(), b.raw())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a query graph in the text format.
+pub fn write_query_text<W: Write>(q: &QueryGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "t {} {}", q.vertex_count(), q.edge_count())?;
+    for u in q.vertices() {
+        writeln!(w, "v {} {} {}", u.raw(), q.label(u).raw(), q.degree(u))?;
+    }
+    for &(a, b) in q.edges() {
+        writeln!(w, "e {} {}", a.raw(), b.raw())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_labelled_graph;
+    use crate::queries::all_benchmark_queries;
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = random_labelled_graph(40, 0.15, 5, 3);
+        let mut buf = Vec::new();
+        write_graph_text(&g, &mut buf).unwrap();
+        let g2 = read_graph_text(&buf[..]).unwrap();
+        assert_eq!(g.vertex_count(), g2.vertex_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+            assert_eq!(g.label(v), g2.label(v));
+        }
+    }
+
+    #[test]
+    fn query_roundtrip_all_benchmarks() {
+        for q in all_benchmark_queries() {
+            let mut buf = Vec::new();
+            write_query_text(&q, &mut buf).unwrap();
+            let q2 = read_query_text(&buf[..]).unwrap();
+            assert_eq!(q, q2);
+        }
+    }
+
+    #[test]
+    fn parses_with_comments_and_blank_lines() {
+        let text = "# comment\n\nt 2 1\nv 0 0 1\nv 1 1 1\n% another\ne 0 1\n";
+        let g = read_graph_text(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_header_mismatch() {
+        let text = "t 3 1\nv 0 0 1\nv 1 1 1\ne 0 1\n";
+        assert!(read_graph_text(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_vertex_record() {
+        let text = "v 0 0 1\nv 2 0 0\ne 0 2\n";
+        assert!(read_graph_text(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_record() {
+        let text = "x 1 2 3\n";
+        assert!(read_graph_text(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        assert!(read_graph_text("t x 1\n".as_bytes()).is_err());
+        assert!(read_graph_text("v a 0 0\n".as_bytes()).is_err());
+        assert!(read_graph_text("e 0 q\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn query_reader_validates_connectivity() {
+        let text = "t 3 1\nv 0 0 1\nv 1 0 1\nv 2 0 0\ne 0 1\n";
+        assert!(matches!(
+            read_query_text(text.as_bytes()),
+            Err(IoError::Query(_))
+        ));
+    }
+}

@@ -1,0 +1,45 @@
+//! # graph-core
+//!
+//! Labelled-graph substrate for the FAST reproduction (ICDE 2021,
+//! "FAST: FPGA-based Subgraph Matching on Massive Graphs").
+//!
+//! Provides everything the matching stack is built on:
+//!
+//! * [`Graph`] — CSR data graphs with label indexes and `O(log d)` edge tests;
+//! * [`QueryGraph`] — bitmask-adjacency query graphs (≤ 32 vertices);
+//! * [`BfsTree`] — BFS spanning trees with tree/non-tree edge classification
+//!   (the skeleton of the CST, paper Section V-A);
+//! * [`MatchingOrder`] and the order heuristics of Fig. 15 (path-based,
+//!   CFL-, DAF-, CECI-style, random connected);
+//! * the LDBC-SNB-like [`generators`] and the scaled [`datasets`] ladder
+//!   (`DG01`–`DG60`, Table III);
+//! * the nine benchmark [`queries`] `q0`–`q8` (Fig. 6);
+//! * text [`io`] in the standard benchmark format, [`stats`], and uniform
+//!   edge [`sample`]-ing (Fig. 17).
+
+pub mod bfs_tree;
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod generators;
+pub mod io;
+pub mod order;
+pub mod queries;
+pub mod query;
+pub mod sample;
+pub mod stats;
+pub mod types;
+
+pub use bfs_tree::BfsTree;
+pub use builder::{BuildError, GraphBuilder};
+pub use csr::Graph;
+pub use datasets::DatasetId;
+pub use order::{
+    all_connected_orders, ceci_style_order, cfl_style_order, daf_style_order, path_based_order,
+    random_connected_order, select_root, MatchingOrder, OrderError,
+};
+pub use queries::{all_benchmark_queries, benchmark_query, QUERY_COUNT};
+pub use query::{QueryError, QueryGraph, MAX_QUERY_VERTICES};
+pub use sample::sample_edges;
+pub use stats::{format_count, GraphStats};
+pub use types::{Label, QueryVertexId, VertexId};

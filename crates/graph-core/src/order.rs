@@ -1,0 +1,473 @@
+//! Matching orders.
+//!
+//! A matching order `O` is a permutation of the query vertices such that each
+//! vertex (after the first) is adjacent in `q` to at least one earlier vertex
+//! (a *connected* order). The paper's scheduler uses the path-based order of
+//! CFL (Section V-B) but is "designed to work with any arbitrary connected
+//! matching orders"; Fig. 15 evaluates FAST under CFL's, DAF's, CECI's, and
+//! random connected orders, all of which are provided here.
+
+use crate::bfs_tree::BfsTree;
+use crate::csr::Graph;
+use crate::query::QueryGraph;
+use crate::types::QueryVertexId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A validated connected matching order over a query graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingOrder {
+    order: Vec<QueryVertexId>,
+    /// `position[u] = i` iff `order[i] == u`.
+    position: Vec<usize>,
+}
+
+/// Errors raised by [`MatchingOrder::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderError {
+    /// The sequence is not a permutation of the query vertices.
+    NotAPermutation,
+    /// Some vertex has no earlier neighbour (the order is disconnected).
+    NotConnected(QueryVertexId),
+}
+
+impl std::fmt::Display for OrderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderError::NotAPermutation => write!(f, "order is not a permutation of V(q)"),
+            OrderError::NotConnected(u) => {
+                write!(f, "vertex {u:?} has no earlier neighbour in the order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrderError {}
+
+impl MatchingOrder {
+    /// Validates and wraps a vertex sequence as a matching order for `q`.
+    pub fn new(q: &QueryGraph, order: Vec<QueryVertexId>) -> Result<Self, OrderError> {
+        let n = q.vertex_count();
+        if order.len() != n {
+            return Err(OrderError::NotAPermutation);
+        }
+        let mut seen = vec![false; n];
+        for &u in &order {
+            if u.index() >= n || seen[u.index()] {
+                return Err(OrderError::NotAPermutation);
+            }
+            seen[u.index()] = true;
+        }
+        // Connectivity: each vertex after the first must see an earlier one.
+        let mut placed = 0u32;
+        for (i, &u) in order.iter().enumerate() {
+            if i > 0 && q.adjacency_mask(u) & placed == 0 {
+                return Err(OrderError::NotConnected(u));
+            }
+            placed |= 1 << u.index();
+        }
+        let mut position = vec![0usize; n];
+        for (i, &u) in order.iter().enumerate() {
+            position[u.index()] = i;
+        }
+        Ok(MatchingOrder { order, position })
+    }
+
+    /// The vertex sequence.
+    #[inline]
+    pub fn as_slice(&self) -> &[QueryVertexId] {
+        &self.order
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the order is empty (never true for validated orders).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The `i`-th vertex to match.
+    #[inline]
+    pub fn vertex_at(&self, i: usize) -> QueryVertexId {
+        self.order[i]
+    }
+
+    /// The position of `u` in the order.
+    #[inline]
+    pub fn position_of(&self, u: QueryVertexId) -> usize {
+        self.position[u.index()]
+    }
+
+    /// The first vertex (the root of the search).
+    #[inline]
+    pub fn first(&self) -> QueryVertexId {
+        self.order[0]
+    }
+
+    /// Neighbours of `u` in `q` that precede `u` in this order
+    /// ("backward neighbours"), in order position.
+    pub fn backward_neighbors(&self, q: &QueryGraph, u: QueryVertexId) -> Vec<QueryVertexId> {
+        let pu = self.position_of(u);
+        let mut back: Vec<QueryVertexId> = q
+            .neighbors(u)
+            .filter(|&v| self.position_of(v) < pu)
+            .collect();
+        back.sort_unstable_by_key(|&v| self.position_of(v));
+        back
+    }
+}
+
+/// Selects a starting (root) vertex for the BFS tree, following the
+/// CFL/CECI convention: minimise `|C_init(u)| / d_q(u)` where `C_init(u)`
+/// estimates candidates by label frequency and degree.
+pub fn select_root(q: &QueryGraph, g: &Graph) -> QueryVertexId {
+    let mut best = QueryVertexId::new(0);
+    let mut best_score = f64::INFINITY;
+    for u in q.vertices() {
+        let candidates = g
+            .vertices_with_label(q.label(u))
+            .iter()
+            .filter(|&&v| g.degree(v) >= q.degree(u))
+            .count();
+        let score = candidates as f64 / q.degree(u).max(1) as f64;
+        if score < best_score {
+            best_score = score;
+            best = u;
+        }
+    }
+    best
+}
+
+/// The paper's path-based order (Section V-B): decompose `t_q` into
+/// root-to-leaf paths, order paths by estimated selectivity (ascending
+/// estimated candidate volume), and concatenate, skipping repeats.
+///
+/// Tree parents always precede children, which the CST partitioner relies on.
+pub fn path_based_order(q: &QueryGraph, tree: &BfsTree, g: &Graph) -> MatchingOrder {
+    let paths = tree.root_to_leaf_paths();
+    // Score a path by the product of per-vertex label-candidate frequencies —
+    // a cheap proxy for how much the path's Cartesian product can blow up.
+    // Lower (more selective) paths go first, matching CFL's heuristic.
+    let mut scored: Vec<(f64, Vec<QueryVertexId>)> = paths
+        .into_iter()
+        .map(|p| {
+            let score: f64 = p
+                .iter()
+                .map(|&u| {
+                    let f = g.vertices_with_label(q.label(u)).len().max(1) as f64;
+                    f / (q.degree(u).max(1) as f64)
+                })
+                .product();
+            (score, p)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+    let mut order = Vec::with_capacity(q.vertex_count());
+    let mut placed = vec![false; q.vertex_count()];
+    for (_, path) in scored {
+        for u in path {
+            if !placed[u.index()] {
+                placed[u.index()] = true;
+                order.push(u);
+            }
+        }
+    }
+    MatchingOrder::new(q, order).expect("path-based order is connected by construction")
+}
+
+/// CFL-style core-forest-leaf order: vertices of the 2-core of `q` first (in
+/// BFS order), then internal forest vertices, then leaves — postponing the
+/// Cartesian products that leaves introduce.
+pub fn cfl_style_order(q: &QueryGraph, tree: &BfsTree) -> MatchingOrder {
+    let core = two_core_mask(q);
+    let mut order = Vec::with_capacity(q.vertex_count());
+    let in_core = |u: QueryVertexId| core & (1 << u.index()) != 0;
+    // Three passes over BFS order keep parents ahead of children within each
+    // class; cross-class adjacency is guaranteed because the core is
+    // connected whenever non-empty and the forest hangs off it.
+    for &u in tree.bfs_order() {
+        if in_core(u) {
+            order.push(u);
+        }
+    }
+    for &u in tree.bfs_order() {
+        if !in_core(u) && (!tree.is_leaf(u) || q.degree(u) != 1) {
+            order.push(u);
+        }
+    }
+    for &u in tree.bfs_order() {
+        if !in_core(u) && tree.is_leaf(u) && q.degree(u) == 1 {
+            order.push(u);
+        }
+    }
+    match MatchingOrder::new(q, order) {
+        Ok(o) => o,
+        // Degenerate queries (e.g. core not containing the BFS root) can
+        // break connectivity; fall back to plain BFS order, as CFL does.
+        Err(_) => MatchingOrder::new(q, tree.bfs_order().to_vec())
+            .expect("BFS order is always connected"),
+    }
+}
+
+/// DAF-style order: greedy "minimum candidate count first" — repeatedly pick
+/// the unmatched vertex adjacent to the matched set with the smallest
+/// estimated candidate set (label frequency scaled down by degree).
+pub fn daf_style_order(q: &QueryGraph, g: &Graph, start: QueryVertexId) -> MatchingOrder {
+    let n = q.vertex_count();
+    let estimate = |u: QueryVertexId| -> f64 {
+        let f = g
+            .vertices_with_label(q.label(u))
+            .iter()
+            .filter(|&&v| g.degree(v) >= q.degree(u))
+            .count() as f64;
+        f / (q.degree(u).max(1) as f64)
+    };
+    let mut order = vec![start];
+    let mut placed = 1u32 << start.index();
+    while order.len() < n {
+        let next = q
+            .vertices()
+            .filter(|&u| placed & (1 << u.index()) == 0)
+            .filter(|&u| q.adjacency_mask(u) & placed != 0)
+            .min_by(|&a, &b| estimate(a).total_cmp(&estimate(b)).then(a.cmp(&b)))
+            .expect("query is connected");
+        placed |= 1 << next.index();
+        order.push(next);
+    }
+    MatchingOrder::new(q, order).expect("greedy frontier order is connected")
+}
+
+/// CECI-style order: plain BFS order of the spanning tree (CECI matches in
+/// BFS-tree order with intersection-based extension).
+pub fn ceci_style_order(q: &QueryGraph, tree: &BfsTree) -> MatchingOrder {
+    MatchingOrder::new(q, tree.bfs_order().to_vec()).expect("BFS order is always connected")
+}
+
+/// A uniformly random connected order starting from `start`.
+///
+/// Used by the Fig. 15 matching-order sensitivity experiment ("all other
+/// random connected orders").
+pub fn random_connected_order<R: Rng>(
+    q: &QueryGraph,
+    start: QueryVertexId,
+    rng: &mut R,
+) -> MatchingOrder {
+    let n = q.vertex_count();
+    let mut order = vec![start];
+    let mut placed = 1u32 << start.index();
+    while order.len() < n {
+        let frontier: Vec<QueryVertexId> = q
+            .vertices()
+            .filter(|&u| placed & (1 << u.index()) == 0)
+            .filter(|&u| q.adjacency_mask(u) & placed != 0)
+            .collect();
+        let &next = frontier.choose(rng).expect("query is connected");
+        placed |= 1 << next.index();
+        order.push(next);
+    }
+    MatchingOrder::new(q, order).expect("frontier growth keeps the order connected")
+}
+
+/// Enumerates *all* connected matching orders starting from `start`.
+///
+/// Exponential in `|V(q)|`; intended for the Fig. 15 BEST/WORST analysis on
+/// the paper's small queries only.
+pub fn all_connected_orders(q: &QueryGraph, start: QueryVertexId) -> Vec<MatchingOrder> {
+    let n = q.vertex_count();
+    let mut out = Vec::new();
+    let mut current = vec![start];
+    fn recurse(
+        q: &QueryGraph,
+        n: usize,
+        placed: u32,
+        current: &mut Vec<QueryVertexId>,
+        out: &mut Vec<MatchingOrder>,
+    ) {
+        if current.len() == n {
+            out.push(
+                MatchingOrder::new(q, current.clone()).expect("constructed order is connected"),
+            );
+            return;
+        }
+        for u in q.vertices() {
+            let bit = 1u32 << u.index();
+            if placed & bit == 0 && q.adjacency_mask(u) & placed != 0 {
+                current.push(u);
+                recurse(q, n, placed | bit, current, out);
+                current.pop();
+            }
+        }
+    }
+    recurse(q, n, 1 << start.index(), &mut current, &mut out);
+    out
+}
+
+/// The set of vertices in the 2-core of `q` (max subgraph with min degree 2),
+/// as a bitmask.
+fn two_core_mask(q: &QueryGraph) -> u32 {
+    let n = q.vertex_count();
+    let mut alive = (0..n).fold(0u32, |m, i| m | (1 << i));
+    loop {
+        let mut changed = false;
+        for u in q.vertices() {
+            let bit = 1u32 << u.index();
+            if alive & bit != 0 {
+                let deg = (q.adjacency_mask(u) & alive).count_ones();
+                if deg < 2 {
+                    alive &= !bit;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return alive;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::types::Label;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn l(x: u16) -> Label {
+        Label::new(x)
+    }
+
+    fn u(x: usize) -> QueryVertexId {
+        QueryVertexId::from_index(x)
+    }
+
+    fn fig1() -> (QueryGraph, Graph) {
+        let q = QueryGraph::new(
+            vec![l(0), l(1), l(2), l(3)],
+            &[(0, 1), (0, 2), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        // Small data graph with matching labels so frequency estimates exist.
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_vertex(l(0));
+        let b0 = b.add_vertex(l(1));
+        let c0 = b.add_vertex(l(2));
+        let d0 = b.add_vertex(l(3));
+        let c1 = b.add_vertex(l(2));
+        b.add_edge(a0, b0).unwrap();
+        b.add_edge(a0, c0).unwrap();
+        b.add_edge(b0, c0).unwrap();
+        b.add_edge(c0, d0).unwrap();
+        b.add_edge(a0, c1).unwrap();
+        (q, b.build())
+    }
+
+    #[test]
+    fn validation_rejects_non_permutation() {
+        let (q, _) = fig1();
+        assert_eq!(
+            MatchingOrder::new(&q, vec![u(0), u(0), u(1), u(2)]),
+            Err(OrderError::NotAPermutation)
+        );
+        assert_eq!(
+            MatchingOrder::new(&q, vec![u(0), u(1)]),
+            Err(OrderError::NotAPermutation)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_disconnected_order() {
+        let (q, _) = fig1();
+        // u3 is only adjacent to u2; placing it second disconnects the order.
+        assert_eq!(
+            MatchingOrder::new(&q, vec![u(0), u(3), u(1), u(2)]),
+            Err(OrderError::NotConnected(u(3)))
+        );
+    }
+
+    #[test]
+    fn positions_invert_order() {
+        let (q, _) = fig1();
+        let o = MatchingOrder::new(&q, vec![u(0), u(2), u(1), u(3)]).unwrap();
+        for i in 0..o.len() {
+            assert_eq!(o.position_of(o.vertex_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn backward_neighbors_in_order_position() {
+        let (q, _) = fig1();
+        let o = MatchingOrder::new(&q, vec![u(0), u(2), u(1), u(3)]).unwrap();
+        assert_eq!(o.backward_neighbors(&q, u(1)), vec![u(0), u(2)]);
+        assert_eq!(o.backward_neighbors(&q, u(3)), vec![u(2)]);
+        assert!(o.backward_neighbors(&q, u(0)).is_empty());
+    }
+
+    #[test]
+    fn path_based_order_is_valid_and_parent_first() {
+        let (q, g) = fig1();
+        let t = BfsTree::new(&q, u(0));
+        let o = path_based_order(&q, &t, &g);
+        assert_eq!(o.len(), 4);
+        for v in q.vertices() {
+            if let Some(p) = t.parent(v) {
+                assert!(o.position_of(p) < o.position_of(v));
+            }
+        }
+    }
+
+    #[test]
+    fn cfl_daf_ceci_orders_valid() {
+        let (q, g) = fig1();
+        let t = BfsTree::new(&q, u(0));
+        // Constructors validate internally; just exercise them.
+        let _ = cfl_style_order(&q, &t);
+        let _ = daf_style_order(&q, &g, u(0));
+        let _ = ceci_style_order(&q, &t);
+    }
+
+    #[test]
+    fn random_orders_are_connected_and_diverse() {
+        let (q, _) = fig1();
+        let mut rng = StdRng::seed_from_u64(7);
+        let orders: Vec<_> = (0..20)
+            .map(|_| random_connected_order(&q, u(0), &mut rng))
+            .collect();
+        // All valid by construction; at least two distinct orders expected.
+        let first = orders[0].as_slice().to_vec();
+        assert!(orders.iter().any(|o| o.as_slice() != first.as_slice()));
+    }
+
+    #[test]
+    fn all_connected_orders_match_manual_count() {
+        let (q, _) = fig1();
+        // From u0: next ∈ {u1, u2}; enumerate manually = 5 total orders:
+        // 0,1,2,3 / 0,2,1,3 / 0,2,3,1. Wait — u3 attaches only to u2, so
+        // orders are: [0,1,2,3], [0,2,1,3], [0,2,3,1]. That is 3.
+        let orders = all_connected_orders(&q, u(0));
+        assert_eq!(orders.len(), 3);
+    }
+
+    #[test]
+    fn select_root_prefers_selective_labels() {
+        let (q, g) = fig1();
+        // Degree-filtered candidate counts: u0 → {a0}, score 1/2; u1 → {b0},
+        // score 1/2; u2 → {c0} (c1 has degree 1 < 3), score 1/3; u3 → {d0},
+        // score 1/1. u2 minimises |C_init|/deg.
+        assert_eq!(select_root(&q, &g), u(2));
+    }
+
+    #[test]
+    fn two_core_of_triangle_with_tail() {
+        let (q, _) = fig1();
+        let core = two_core_mask(&q);
+        // Triangle u0,u1,u2 is the 2-core; u3 is not.
+        assert_eq!(core, 0b0111);
+    }
+}

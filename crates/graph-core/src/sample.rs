@@ -1,0 +1,82 @@
+//! Uniform edge sampling (paper Fig. 17).
+//!
+//! "We keep all vertices and sample 20%, 40%, 60%, and 80% edges of DG60
+//! uniformly to further test the scalability of FAST."
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns a new graph with every vertex of `g` and each edge kept
+/// independently with probability `fraction`.
+///
+/// # Panics
+/// Panics if `fraction` is outside `[0, 1]`.
+pub fn sample_edges(g: &Graph, fraction: f64, seed: u64) -> Graph {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction {fraction} outside [0, 1]"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(
+        g.vertex_count(),
+        (g.edge_count() as f64 * fraction) as usize + 1,
+    );
+    for v in g.vertices() {
+        b.add_vertex(g.label(v));
+    }
+    for (u, v) in g.edges() {
+        if rng.gen_bool(fraction) {
+            b.add_edge(u, v).expect("endpoints exist by construction");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_labelled_graph;
+
+    #[test]
+    fn keeps_all_vertices() {
+        let g = random_labelled_graph(100, 0.1, 3, 8);
+        let s = sample_edges(&g, 0.5, 1);
+        assert_eq!(s.vertex_count(), g.vertex_count());
+        for v in g.vertices() {
+            assert_eq!(g.label(v), s.label(v));
+        }
+    }
+
+    #[test]
+    fn fraction_zero_and_one_are_exact() {
+        let g = random_labelled_graph(60, 0.2, 3, 8);
+        assert_eq!(sample_edges(&g, 0.0, 1).edge_count(), 0);
+        assert_eq!(sample_edges(&g, 1.0, 1).edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn sampled_edges_are_subset() {
+        let g = random_labelled_graph(60, 0.2, 3, 8);
+        let s = sample_edges(&g, 0.4, 2);
+        for (u, v) in s.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn expected_fraction_roughly_holds() {
+        let g = random_labelled_graph(200, 0.2, 3, 8);
+        let s = sample_edges(&g, 0.3, 3);
+        let ratio = s.edge_count() as f64 / g.edge_count() as f64;
+        assert!((ratio - 0.3).abs() < 0.08, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_fraction() {
+        let g = random_labelled_graph(5, 0.5, 2, 8);
+        sample_edges(&g, 1.5, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Compact identifier newtypes shared across the workspace.
+//!
+//! Data graphs in the paper reach 187M vertices and 1.25B edges, so vertex
+//! identifiers are kept at 32 bits and labels at 16 bits (the LDBC datasets
+//! have 11 labels). The newtypes prevent accidentally mixing data-graph
+//! vertices, query-graph vertices, and labels.
+
+use std::fmt;
+
+/// Identifier of a vertex in a **data graph**.
+///
+/// Backed by `u32`: sufficient for graphs of up to ~4.29B vertices, and half
+/// the footprint of `usize` in adjacency arrays (see the CSR layout in
+/// [`crate::Graph`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from its raw `u32` value.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        VertexId(raw)
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, suitable for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a vertex id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "vertex index overflows u32");
+        VertexId(index as u32)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a vertex in a **query graph**.
+///
+/// Query graphs are small (the paper's queries have 4-6 vertices; we cap at
+/// [`crate::query::MAX_QUERY_VERTICES`]), so `u8` suffices and keeps
+/// per-partial-result state tiny in the FPGA kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryVertexId(u8);
+
+impl QueryVertexId {
+    /// Creates a query vertex id from its raw `u8` value.
+    #[inline]
+    pub const fn new(raw: u8) -> Self {
+        QueryVertexId(raw)
+    }
+
+    /// Returns the raw `u8` value.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, suitable for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a query vertex id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `index` exceeds `u8::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u8::MAX as usize, "query vertex index overflows u8");
+        QueryVertexId(index as u8)
+    }
+}
+
+impl fmt::Debug for QueryVertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryVertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A vertex label.
+///
+/// The paper's LDBC datasets use 11 labels (Table III); `u16` leaves ample
+/// headroom while keeping label arrays compact.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(u16);
+
+impl Label {
+    /// Creates a label from its raw `u16` value.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        Label(raw)
+    }
+
+    /// Returns the raw `u16` value.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the label as a `usize`, suitable for indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from_index(42), v);
+    }
+
+    #[test]
+    fn query_vertex_roundtrip() {
+        let u = QueryVertexId::new(7);
+        assert_eq!(u.raw(), 7);
+        assert_eq!(u.index(), 7);
+        assert_eq!(QueryVertexId::from_index(7), u);
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let l = Label::new(3);
+        assert_eq!(l.raw(), 3);
+        assert_eq!(l.index(), 3);
+    }
+
+    #[test]
+    fn ordering_follows_raw_values() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(QueryVertexId::new(0) < QueryVertexId::new(1));
+        assert!(Label::new(0) < Label::new(5));
+    }
+
+    #[test]
+    fn debug_formats_are_prefixed() {
+        assert_eq!(format!("{:?}", VertexId::new(3)), "v3");
+        assert_eq!(format!("{:?}", QueryVertexId::new(3)), "u3");
+        assert_eq!(format!("{:?}", Label::new(3)), "L3");
+    }
+
+    #[test]
+    fn type_sizes_stay_compact() {
+        // The kernel stores millions of these; keep them at their minimal
+        // sizes (perf-book: smaller integers shrink hot types).
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<QueryVertexId>(), 1);
+        assert_eq!(std::mem::size_of::<Label>(), 2);
+        assert_eq!(std::mem::size_of::<Option<VertexId>>(), 8);
+    }
+}

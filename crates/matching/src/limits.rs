@@ -1,0 +1,140 @@
+//! Run limits and outcomes.
+//!
+//! The paper's harness reports `INF` for queries exceeding the 3-hour limit
+//! and `OOM` for algorithms exhausting memory (Section VII, Fig. 14). The
+//! same tri-state outcome is threaded through every matcher here so the
+//! benchmark tables can be regenerated faithfully (at laptop-scale limits).
+
+use std::time::Duration;
+
+/// Resource limits applied to a matching run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Wall-clock budget; `None` = unlimited. (The paper uses 3 hours.)
+    pub timeout: Option<Duration>,
+    /// Modelled memory budget in bytes; `None` = unlimited. (The paper's
+    /// host has 250 GB; the GPU baselines get 16 GB.)
+    pub memory_cap: Option<usize>,
+    /// Stop after this many embeddings; `None` = enumerate all.
+    pub max_results: Option<u64>,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            timeout: Some(Duration::from_secs(60)),
+            memory_cap: None,
+            max_results: None,
+        }
+    }
+}
+
+impl RunLimits {
+    /// No limits at all (tests on tiny inputs).
+    pub fn unlimited() -> Self {
+        RunLimits {
+            timeout: None,
+            memory_cap: None,
+            max_results: None,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion.
+    Completed,
+    /// Hit the wall-clock budget — reported as `INF` in the tables.
+    Timeout,
+    /// Exceeded the modelled memory budget — reported as `OOM`.
+    OutOfMemory,
+    /// Hit `max_results` (intentional early stop).
+    ResultLimit,
+}
+
+impl Outcome {
+    /// The marker the paper's tables use.
+    pub fn table_marker(&self) -> &'static str {
+        match self {
+            Outcome::Completed | Outcome::ResultLimit => "ok",
+            Outcome::Timeout => "INF",
+            Outcome::OutOfMemory => "OOM",
+        }
+    }
+}
+
+/// Result of one baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// Algorithm label (e.g. `"CFL"`, `"DAF"`, `"CECI-8"`).
+    pub algorithm: String,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Embeddings found (partial when not `Completed`).
+    pub embeddings: u64,
+    /// Index/auxiliary-structure construction time.
+    pub build_time: Duration,
+    /// Enumeration time.
+    pub match_time: Duration,
+    /// Peak modelled memory in bytes (index + intermediates).
+    pub peak_memory_bytes: usize,
+    /// Partial results generated during search (the `N` analogue).
+    pub partials_generated: u64,
+    /// Index-construction time normalised to the paper's platform
+    /// (see [`crate::cost_model`]).
+    pub modeled_build_sec: f64,
+    /// Search time normalised to the paper's platform.
+    pub modeled_match_sec: f64,
+}
+
+impl MatchResult {
+    /// Total elapsed (build + match), as measured on this host.
+    pub fn total_time(&self) -> Duration {
+        self.build_time + self.match_time
+    }
+
+    /// Total elapsed normalised to the paper's platform — what the Fig. 14
+    /// tables report. Infinite for timed-out runs.
+    pub fn modeled_total_sec(&self) -> f64 {
+        match self.outcome {
+            Outcome::Timeout => f64::INFINITY,
+            _ => self.modeled_build_sec + self.modeled_match_sec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers() {
+        assert_eq!(Outcome::Completed.table_marker(), "ok");
+        assert_eq!(Outcome::Timeout.table_marker(), "INF");
+        assert_eq!(Outcome::OutOfMemory.table_marker(), "OOM");
+    }
+
+    #[test]
+    fn default_has_safety_timeout() {
+        assert!(RunLimits::default().timeout.is_some());
+        assert!(RunLimits::unlimited().timeout.is_none());
+    }
+
+    #[test]
+    fn total_time_sums() {
+        let r = MatchResult {
+            algorithm: "X".into(),
+            outcome: Outcome::Completed,
+            embeddings: 1,
+            build_time: Duration::from_millis(2),
+            match_time: Duration::from_millis(3),
+            peak_memory_bytes: 0,
+            partials_generated: 0,
+            modeled_build_sec: 0.001,
+            modeled_match_sec: 0.002,
+        };
+        assert_eq!(r.total_time(), Duration::from_millis(5));
+        assert!((r.modeled_total_sec() - 0.003).abs() < 1e-12);
+    }
+}

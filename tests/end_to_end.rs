@@ -1,0 +1,131 @@
+//! End-to-end integration: every matcher in the workspace must agree on
+//! every benchmark query over LDBC-like data.
+
+use fast::{run_fast, FastConfig, Variant};
+use graph_core::generators::{generate_ldbc, LdbcParams};
+use graph_core::{all_benchmark_queries, benchmark_query};
+use join_baselines::{run_join_baseline, DeviceSpec, JoinBaseline};
+use matching::{run_baseline, run_baseline_parallel, Baseline, Outcome, RunLimits};
+
+fn tiny_ldbc() -> graph_core::Graph {
+    generate_ldbc(&LdbcParams::with_scale_factor(0.05), 1234)
+}
+
+#[test]
+fn all_engines_agree_on_all_benchmark_queries() {
+    let g = tiny_ldbc();
+    let limits = RunLimits::unlimited();
+    let device = DeviceSpec::default();
+    for (qi, q) in all_benchmark_queries().iter().enumerate() {
+        let expected = run_fast(q, &g, &FastConfig::default())
+            .expect("benchmark query fits kernel")
+            .embeddings;
+        for b in Baseline::ALL {
+            let r = run_baseline(b, q, &g, &limits);
+            assert_eq!(r.outcome, Outcome::Completed, "{} q{qi}", b.name());
+            assert_eq!(r.embeddings, expected, "{} q{qi}", b.name());
+        }
+        for jb in JoinBaseline::ALL {
+            let r = run_join_baseline(jb, q, &g, &device, &limits);
+            assert_eq!(r.outcome, Outcome::Completed, "{} q{qi}", jb.name());
+            assert_eq!(r.embeddings, expected, "{} q{qi}", jb.name());
+        }
+        let par = run_baseline_parallel(Baseline::Ceci, q, &g, &limits, 8);
+        assert_eq!(par.embeddings, expected, "CECI-8 q{qi}");
+    }
+}
+
+#[test]
+fn all_variants_agree_on_dense_query() {
+    let g = tiny_ldbc();
+    let q = benchmark_query(8);
+    let counts: Vec<u64> = Variant::ALL
+        .iter()
+        .map(|&v| {
+            run_fast(&q, &g, &FastConfig::test_small(v))
+                .expect("fits")
+                .embeddings
+        })
+        .collect();
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "variants disagree: {counts:?}"
+    );
+}
+
+#[test]
+fn variant_cycle_ladder_holds_end_to_end() {
+    let g = tiny_ldbc();
+    for qi in [1usize, 2, 6, 8] {
+        let q = benchmark_query(qi);
+        let cycles: Vec<(Variant, u64)> = [Variant::Dram, Variant::Basic, Variant::Task, Variant::Sep]
+            .iter()
+            .map(|&v| {
+                (
+                    v,
+                    run_fast(&q, &g, &FastConfig::for_variant(v))
+                        .expect("fits")
+                        .kernel_cycles,
+                )
+            })
+            .collect();
+        for w in cycles.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "q{qi}: {} ({}) < {} ({})",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_reports_are_internally_consistent() {
+    let g = tiny_ldbc();
+    let q = benchmark_query(2);
+    let r = run_fast(&q, &g, &FastConfig::test_small(Variant::Share)).expect("fits");
+    // Workload booked must cover both sides.
+    assert!(r.workload_cpu >= 0.0 && r.workload_fpga >= 0.0);
+    // Counts only come from FPGA partitions.
+    if r.fpga_partitions == 0 {
+        assert_eq!(r.counts.n, 0);
+    }
+    // Modelled total covers its components.
+    assert!(r.modeled_total_sec() >= r.modeled_build_sec);
+    assert!(r.modeled_total_sec() >= r.kernel_time_sec);
+    assert_eq!(r.forced, 0, "partitions should never be force-emitted");
+}
+
+#[test]
+fn timeout_produces_inf_marker() {
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.3), 5);
+    let q = benchmark_query(1);
+    let limits = RunLimits {
+        timeout: Some(std::time::Duration::from_micros(1)),
+        ..RunLimits::unlimited()
+    };
+    let r = run_baseline(Baseline::Cfl, &q, &g, &limits);
+    assert_eq!(r.outcome, Outcome::Timeout);
+    assert_eq!(r.outcome.table_marker(), "INF");
+    assert!(r.modeled_total_sec().is_infinite());
+}
+
+#[test]
+fn memory_caps_produce_oom_markers() {
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.2), 5);
+    let q = benchmark_query(6);
+    // CFL's adjacency matrix blows a small cap.
+    let limits = RunLimits {
+        memory_cap: Some(1 << 20),
+        ..RunLimits::unlimited()
+    };
+    let r = run_baseline(Baseline::Cfl, &q, &g, &limits);
+    assert_eq!(r.outcome, Outcome::OutOfMemory);
+    // The GPU join with a tiny device OOMs too.
+    let device = DeviceSpec { memory_bytes: 1 << 10 };
+    let r = run_join_baseline(JoinBaseline::Gsi, &q, &g, &device, &RunLimits::unlimited());
+    assert_eq!(r.outcome, Outcome::OutOfMemory);
+}

@@ -1,0 +1,122 @@
+//! Property-based tests: the emulated kernel is an exact subgraph matcher.
+//!
+//! For random labelled graphs, random small queries, random matching orders,
+//! and random `N_o`, the kernel must produce exactly the embeddings the
+//! CST-enumeration oracle (and VF2) produce, and the BRAM buffer bound of
+//! Section VI-B must hold.
+
+use cst::build_cst;
+use fast::{run_kernel, CollectMode, KernelPlan};
+use graph_core::generators::random_labelled_graph;
+use graph_core::{
+    random_connected_order, BfsTree, Label, MatchingOrder, QueryGraph, QueryVertexId,
+};
+use matching::vf2_count;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random connected query of 2-5 vertices over ≤3 labels.
+fn arb_query() -> impl Strategy<Value = QueryGraph> {
+    (2usize..=5, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<Label> = (0..n).map(|_| Label::new(rng.gen_range(0..3))).collect();
+        // Random spanning tree + random extra edges keeps it connected.
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push((rng.gen_range(0..i), i));
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(0.3) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        QueryGraph::new(labels, &edges).expect("construction keeps connectivity")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernel_matches_vf2_on_random_inputs(
+        q in arb_query(),
+        graph_seed in 0u64..1_000,
+        order_seed in 0u64..1_000,
+        no in 1u32..64,
+    ) {
+        let g = random_labelled_graph(30, 0.2, 3, graph_seed);
+        let expected = vf2_count(&q, &g);
+
+        let root = QueryVertexId::new(0);
+        let tree = BfsTree::new(&q, root);
+        let mut rng = StdRng::seed_from_u64(order_seed);
+        let order = random_connected_order(&q, root, &mut rng);
+
+        let cst = build_cst(&q, &g, &tree);
+        let plan = KernelPlan::new(&q, &order, &tree).expect("small query");
+        let out = run_kernel(&cst, &plan, no, CollectMode::CountOnly);
+
+        prop_assert_eq!(out.embeddings, expected);
+        // Section VI-B: no buffer level ever exceeds N_o.
+        for (lvl, &hw) in out.buffer_high_water.iter().enumerate() {
+            prop_assert!(hw <= no as usize, "level {} high-water {} > No {}", lvl + 1, hw, no);
+        }
+    }
+
+    #[test]
+    fn kernel_counts_are_order_of_rounds_invariant(
+        q in arb_query(),
+        graph_seed in 0u64..500,
+    ) {
+        let g = random_labelled_graph(25, 0.25, 3, graph_seed);
+        let root = QueryVertexId::new(0);
+        let tree = BfsTree::new(&q, root);
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).expect("bfs order");
+        let cst = build_cst(&q, &g, &tree);
+        let plan = KernelPlan::new(&q, &order, &tree).expect("small query");
+
+        // N and M are search-space properties: independent of N_o.
+        let a = run_kernel(&cst, &plan, 1, CollectMode::CountOnly);
+        let b = run_kernel(&cst, &plan, 1024, CollectMode::CountOnly);
+        prop_assert_eq!(a.counts, b.counts);
+        prop_assert_eq!(a.embeddings, b.embeddings);
+        prop_assert!(a.rounds >= b.rounds);
+    }
+
+    #[test]
+    fn collected_embeddings_are_genuine(
+        q in arb_query(),
+        graph_seed in 0u64..500,
+    ) {
+        let g = random_labelled_graph(25, 0.25, 3, graph_seed);
+        let root = QueryVertexId::new(0);
+        let tree = BfsTree::new(&q, root);
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).expect("bfs order");
+        let cst = build_cst(&q, &g, &tree);
+        let plan = KernelPlan::new(&q, &order, &tree).expect("small query");
+        let out = run_kernel(&cst, &plan, 16, CollectMode::Collect(64));
+
+        for emb in &out.collected {
+            // Labels match.
+            for u in q.vertices() {
+                prop_assert_eq!(g.label(emb[u.index()]), q.label(u));
+            }
+            // Injectivity.
+            for a in q.vertices() {
+                for b in q.vertices() {
+                    if a != b {
+                        prop_assert_ne!(emb[a.index()], emb[b.index()]);
+                    }
+                }
+            }
+            // Every query edge is a data edge.
+            for &(a, b) in q.edges() {
+                prop_assert!(g.has_edge(emb[a.index()], emb[b.index()]));
+            }
+        }
+    }
+}
