@@ -53,7 +53,7 @@ pub fn run(cache: &mut DatasetCache, dataset: DatasetId) -> Vec<Row> {
             let mut partitions = 0usize;
             let mut time = 0.0f64;
             for (q, order, cst) in &prepared {
-                let mut pc = config.partition_config(q.vertex_count());
+                let mut pc = config.partition_config(q.vertex_count(), cst);
                 pc.fixed_k = k;
                 let t0 = Instant::now();
                 let (parts, _) = partition_cst(cst, order, &pc);

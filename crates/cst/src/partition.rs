@@ -59,9 +59,11 @@ pub struct PartitionStats {
     pub stolen: usize,
 }
 
-/// Whether `cst` satisfies both thresholds.
+/// Whether `cst` satisfies both thresholds. δ_S is checked against
+/// [`Cst::payload_bytes`] (see there for why the CSR offsets scaffold is
+/// excluded from the partitioning metric).
 pub fn fits(cst: &Cst, config: &PartitionConfig) -> bool {
-    cst.size_bytes() <= config.delta_s && cst.max_candidate_degree() <= config.delta_d
+    cst.payload_bytes() <= config.delta_s && cst.max_candidate_degree() <= config.delta_d
 }
 
 /// Partitions `cst` until every part satisfies `config`, streaming parts into
@@ -147,7 +149,7 @@ fn recurse(
     let k = match config.fixed_k {
         Some(k) => k as usize,
         None => {
-            let by_size = cst.size_bytes().div_ceil(config.delta_s);
+            let by_size = cst.payload_bytes().div_ceil(config.delta_s);
             let by_degree = (cst.max_candidate_degree() as usize).div_ceil(config.delta_d as usize);
             by_size.max(by_degree)
         }

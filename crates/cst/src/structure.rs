@@ -158,9 +158,39 @@ impl Cst {
         self.adjacency(u, v).has_edge(i as usize, j)
     }
 
-    /// `|CST|`: the byte-size model used against the δ_S partition threshold
-    /// (Section V-B). Counts candidate arrays plus all CSR adjacency.
+    /// Total in-memory footprint of the CST: candidate arrays plus all CSR
+    /// adjacency including `offsets` bookkeeping. This is the number used by
+    /// the PCIe transfer model and the baselines' peak-memory accounting —
+    /// everything here really is stored and shipped.
     pub fn size_bytes(&self) -> usize {
+        self.payload_bytes() + self.scaffold_bytes()
+    }
+
+    /// The CSR `offsets` bookkeeping bytes: the part of
+    /// [`size_bytes`](Self::size_bytes) excluded from
+    /// [`payload_bytes`](Self::payload_bytes).
+    pub fn scaffold_bytes(&self) -> usize {
+        self.adjacency
+            .iter()
+            .map(|a| a.offsets.len() * std::mem::size_of::<u32>())
+            .sum()
+    }
+
+    /// `|CST|` as checked against the δ_S partition threshold (Section V-B):
+    /// candidate arrays plus adjacency *entries*, excluding the CSR `offsets`
+    /// scaffold. Offsets carry an irreducible floor — even a fully-split
+    /// partition with one candidate per vertex keeps `2 × 4 bytes` of them
+    /// per directed query edge — so charging them to δ_S would make small
+    /// but legal thresholds unattainable and force the partitioner's
+    /// oversized-emit escape hatch. Against the payload metric, splitting
+    /// can always reach any threshold ≥ one candidate per vertex. Callers
+    /// deriving δ_S from a hard BRAM budget should reserve headroom for the
+    /// scaffold: its exact size is `4 × Σ_e (|C(src(e))| + 1)` bytes over the
+    /// directed query edges — each source vertex's candidate count is paid
+    /// once per *outgoing* edge — which shrinks with the candidate sets as
+    /// partitions split (see `FastConfig::partition_config` for the budget
+    /// split used by the FPGA flow).
+    pub fn payload_bytes(&self) -> usize {
         let cand: usize = self
             .candidates
             .iter()
@@ -169,7 +199,7 @@ impl Cst {
         let adj: usize = self
             .adjacency
             .iter()
-            .map(|a| (a.offsets.len() + a.targets.len()) * std::mem::size_of::<u32>())
+            .map(|a| a.targets.len() * std::mem::size_of::<u32>())
             .sum();
         cand + adj
     }

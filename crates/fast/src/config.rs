@@ -67,10 +67,30 @@ impl FastConfig {
     /// Derives the CST partition thresholds from the device spec: δ_S is the
     /// BRAM budget left after reserving the `(|V(q)|-1) × N_o` partial-result
     /// buffer; δ_D is `Port_max`.
-    pub fn partition_config(&self, query_len: usize) -> PartitionConfig {
+    ///
+    /// δ_S is checked against `Cst::payload_bytes`, which excludes the CSR
+    /// offsets scaffold, while BRAM must hold the full footprint. The grant
+    /// therefore scales the budget by the CST's measured payload share
+    /// (`payload / footprint`). This is an *average-share* reservation, not
+    /// a hard per-partition bound: a partition whose adjacency prunes faster
+    /// than its candidate sets is scaffold-heavier than the whole CST and
+    /// can exceed the modelled budget by up to the scaffold's share. The
+    /// exact per-partition guarantee would need `budget / |V(q)|`
+    /// conservatism (offsets scale with per-edge source-candidate counts),
+    /// which explodes partition counts; exact BRAM accounting is tracked as
+    /// a ROADMAP item.
+    pub fn partition_config(&self, query_len: usize, cst: &cst::Cst) -> PartitionConfig {
         let partial_bytes = std::mem::size_of::<crate::buffer::Partial>();
+        let budget = self.spec.cst_bram_budget(query_len, partial_bytes);
+        let payload = cst.payload_bytes();
+        let footprint = payload + cst.scaffold_bytes();
+        let delta_s = if footprint == 0 {
+            budget
+        } else {
+            (budget as u128 * payload as u128 / footprint as u128) as usize
+        };
         PartitionConfig {
-            delta_s: self.spec.cst_bram_budget(query_len, partial_bytes).max(1),
+            delta_s: delta_s.max(1),
             delta_d: self.spec.port_max,
             fixed_k: self.fixed_k,
             max_partitions: self.max_partitions,
@@ -109,11 +129,22 @@ mod tests {
 
     #[test]
     fn partition_config_reserves_buffer() {
+        use graph_core::{BfsTree, Label, QueryGraph, QueryVertexId};
+        let q = QueryGraph::new(vec![Label::new(0), Label::new(1)], &[(0, 1)]).unwrap();
+        let g = graph_core::generators::random_labelled_graph(30, 0.2, 2, 5);
+        let tree = BfsTree::new(&q, QueryVertexId::new(0));
+        let cst = cst::build_cst(&q, &g, &tree);
+
         let c = FastConfig::default();
-        let p6 = c.partition_config(6);
-        let p2 = c.partition_config(2);
+        let p6 = c.partition_config(6, &cst);
+        let p2 = c.partition_config(2, &cst);
         assert!(p6.delta_s < p2.delta_s, "bigger queries reserve more buffer");
         assert_eq!(p6.delta_d, c.spec.port_max);
+        // The grant never exceeds the raw budget (scaffold share is reserved)
+        // and never hits zero for a non-degenerate CST.
+        let partial = std::mem::size_of::<crate::buffer::Partial>();
+        assert!(p2.delta_s <= c.spec.cst_bram_budget(2, partial));
+        assert!(p2.delta_s >= 1);
     }
 
     #[test]

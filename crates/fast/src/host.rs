@@ -186,7 +186,7 @@ fn run_fast_with_prepared(
 ) -> Result<FastReport, FastError> {
     let cpu_cost = CpuCostModel::default();
     let plan = KernelPlan::new(q, order, tree)?;
-    let partition_config = config.partition_config(q.vertex_count());
+    let partition_config = config.partition_config(q.vertex_count(), cst);
     let model = config.cycle_model();
     let delta = if config.variant.shares_with_cpu() {
         config.delta

@@ -72,7 +72,7 @@ pub fn run_multi_fpga(
     let order = path_based_order(q, &tree, g);
     let (cst, _) = build_cst_with_stats(q, g, &tree, config.cst_options);
     let plan = KernelPlan::new(q, &order, &tree)?;
-    let partition_config = config.partition_config(q.vertex_count());
+    let partition_config = config.partition_config(q.vertex_count(), &cst);
     let model = config.cycle_model();
 
     let mut per_card_workload = vec![0.0f64; cards];

@@ -1,0 +1,196 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! Implements the `proptest!` macro, range/tuple/`prop_map`/`any`/`option::of`
+//! strategies, `ProptestConfig::with_cases`, and the `prop_assert*` family.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: every case is seeded from an FNV-1a hash of the test
+//!   name and the case index, so CI runs are bit-reproducible (no
+//!   `proptest-regressions` files, no ambient entropy).
+//! * **No shrinking**: a failing case reports its seed and case index; re-run
+//!   reproduces it exactly, which substitutes for shrinking in CI.
+
+pub mod arbitrary;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+                    stringify!($left), stringify!($right), l, format!($($fmt)*)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Reject the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Bind `proptest!` parameters: `name in strategy` or `name: Type` forms,
+/// in any mix, comma-separated.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:expr;) => {};
+    ($rng:expr; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::new_value(&$strat, $rng);
+    };
+    ($rng:expr; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::new_value(&$strat, $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:expr; $name:ident : $ty:ty) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::new_value(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:expr; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::new_value(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $name:ident; ($($params:tt)*) $body:block) => {{
+        let config: $crate::test_runner::ProptestConfig = $config;
+        let test_id = concat!(module_path!(), "::", stringify!($name));
+        let mut accepted: u32 = 0;
+        let mut attempt: u64 = 0;
+        let max_attempts: u64 = (config.cases as u64) * 20 + 100;
+        while accepted < config.cases {
+            if attempt >= max_attempts {
+                panic!(
+                    "proptest {}: too many rejected cases ({} accepted of {} wanted after {} attempts)",
+                    test_id, accepted, config.cases, attempt
+                );
+            }
+            let mut rng = $crate::test_runner::case_rng(test_id, attempt);
+            let case_seed = attempt;
+            attempt += 1;
+            let outcome = (|| -> $crate::test_runner::TestCaseResult {
+                let rng = &mut rng;
+                $crate::__proptest_bind!(rng; $($params)*);
+                $body
+                ::core::result::Result::Ok(())
+            })();
+            match outcome {
+                ::core::result::Result::Ok(()) => accepted += 1,
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at deterministic case {} (re-run reproduces it):\n{}",
+                        test_id, case_seed, msg
+                    );
+                }
+            }
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr;) => {};
+    (
+        $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_body!($config; $name; ($($params)*) $body);
+        }
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+}
+
+/// The `proptest!` block macro: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn` items whose
+/// parameters are strategy bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}

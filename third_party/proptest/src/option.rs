@@ -1,0 +1,26 @@
+//! `proptest::option::of` — yields `None` ~25% of the time, matching real
+//! proptest's default weighting.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Config, case errors, and the deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. A concrete type keeps the `Strategy` trait
+/// object-safe-free and simple.
+pub type TestRng = StdRng;
+
+/// FNV-1a, stable across platforms and runs — the basis of deterministic
+/// case seeding.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic RNG for case `index` of test `test_id`.
+pub fn case_rng(test_id: &str, index: u64) -> TestRng {
+    StdRng::seed_from_u64(fnv1a(test_id.as_bytes()) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;

@@ -1,0 +1,276 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal, deterministic implementation of exactly the surface the sources
+//! call: [`Rng::gen_range`] / [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] / [`rngs::SmallRng`], and [`seq::SliceRandom`].
+//!
+//! The generators are SplitMix64-seeded xoshiro256++ (`StdRng`) and
+//! SplitMix64 itself (`SmallRng`). Streams are fully deterministic for a
+//! given seed, which the test suite and dataset ladder rely on. Statistical
+//! quality is more than adequate for graph generation and property tests;
+//! this is **not** a cryptographic RNG.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core RNG interface: everything is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a `Range` or `RangeInclusive`.
+    ///
+    /// Panics if the range is empty, matching `rand` 0.8 behaviour.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty(), "cannot sample empty range");
+        range.sample_single(self)
+    }
+
+    /// Sample from the "standard" distribution: uniform over the full
+    /// integer domain, or `[0, 1)` for floats.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, `rand`-0.8 style.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Deterministic convenience seed (`rand` uses a fixed doc-stable seed).
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Map a `u64` to the unit interval `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+                let span = (high_incl as u128).wrapping_sub(low as u128).wrapping_add(1) as u128;
+                if span == 0 {
+                    // Full-width range: every value is valid.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift mapping (Lemire, no rejection): bias is
+                // <= 2^-64 per draw, irrelevant for graph generation.
+                let x = rng.next_u64() as u128;
+                let mapped = (x * span) >> 64;
+                low.wrapping_add(mapped as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+                let u = unit_f64(rng.next_u64()) as $t;
+                low + (high_incl - low) * u
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform + One> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, T::minus_one(self.end))
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        // `partial_cmp` keeps NaN float bounds classified as empty.
+        !matches!(
+            self.start.partial_cmp(&self.end),
+            Some(std::cmp::Ordering::Less)
+        )
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, *self.start(), *self.end())
+    }
+    #[inline]
+    fn is_empty(&self) -> bool {
+        !matches!(
+            self.start().partial_cmp(self.end()),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        )
+    }
+}
+
+/// Helper for turning a half-open bound into an inclusive one.
+pub trait One: Sized {
+    fn minus_one(v: Self) -> Self;
+}
+
+macro_rules! impl_one_int {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            #[inline]
+            fn minus_one(v: Self) -> Self { v.wrapping_sub(1) }
+        }
+    )*};
+}
+
+impl_one_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_one_float {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            // Float ranges are half-open by the sampling formula already:
+            // `low + (high-low) * u` with `u in [0,1)` never reaches `high`.
+            #[inline]
+            fn minus_one(v: Self) -> Self { v }
+        }
+    )*};
+}
+
+impl_one_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(5usize..=5);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let v = [1, 2, 3, 4];
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut w = (0..32).collect::<Vec<_>>();
+        w.shuffle(&mut rng);
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+}
