@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cst::{
-    build_cst, build_cst_with_stats, estimate_workload, partition_cst, CstOptions,
-    PartitionConfig,
+    build_cst, build_cst_sharded, build_cst_with_stats, estimate_workload, partition_cst,
+    CstOptions, PartitionConfig, PipelineOptions,
 };
 use graph_core::generators::{generate_ldbc, LdbcParams};
 use graph_core::{benchmark_query, path_based_order, select_root, BfsTree};
@@ -50,12 +50,44 @@ fn bench_partitioning(c: &mut Criterion) {
         let config = PartitionConfig {
             delta_s,
             delta_d: u32::MAX,
+            footprint_budget: None,
             fixed_k,
             max_partitions: 1 << 16,
         };
         group.bench_function(&name, |b| {
             b.iter(|| black_box(partition_cst(&cst, &order, &config).0.len()));
         });
+    }
+    group.finish();
+}
+
+fn bench_sharded_build(c: &mut Criterion) {
+    // The sharded parallel pipeline vs the sequential build. On a
+    // multi-core host the 4-thread point should win; on a single-core CI
+    // box it exposes the sharding overhead (duplicated interior
+    // candidates) instead — both are worth tracking.
+    let g = generate_ldbc(&LdbcParams::with_scale_factor(0.5), 1);
+    let q = benchmark_query(2);
+    let root = select_root(&q, &g);
+    let tree = BfsTree::new(&q, root);
+    let mut group = c.benchmark_group("cst_sharded_build");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(build_cst(&q, &g, &tree)));
+    });
+    for threads in [1usize, 2, 4] {
+        let opts = PipelineOptions {
+            threads,
+            shards: Some(16),
+            cst: CstOptions::default(),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("sharded16", format!("t{threads}")),
+            &threads,
+            |b, _| {
+                b.iter(|| black_box(build_cst_sharded(&q, &g, &tree, &opts).0));
+            },
+        );
     }
     group.finish();
 }
@@ -75,6 +107,7 @@ criterion_group!(
     benches,
     bench_construction,
     bench_partitioning,
+    bench_sharded_build,
     bench_workload_estimation
 );
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //!
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
+//!        | hostscale
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -27,7 +28,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale"
                 );
                 std::process::exit(0);
             }
@@ -135,6 +136,12 @@ fn main() {
     if wants("fig17") {
         let rows = fig17::run(&mut cache, huge, &fig17::QUERIES);
         println!("{}", fig17::render(huge, &rows));
+    }
+    if wants("hostscale") {
+        // The host-parallel pipeline scaling sweep targets the largest
+        // bundled dataset (DG60); quick mode stays at DG03.
+        let rows = host_scaling::run(&mut cache, huge, &host_scaling::QUERIES);
+        println!("{}", host_scaling::render(huge, &rows));
     }
     if wants("ablation") {
         let d = DatasetId::Dg01;

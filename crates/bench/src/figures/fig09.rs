@@ -82,6 +82,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug: full figure run; covered by the release-mode CI test step")]
     fn partitions_grow_with_dataset() {
         let mut cache = DatasetCache::new();
         let rows = run(&mut cache, &[DatasetId::Dg01, DatasetId::Dg03]);

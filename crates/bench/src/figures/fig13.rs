@@ -99,6 +99,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug: full figure run; covered by the release-mode CI test step")]
     fn moderate_delta_does_not_catastrophically_regress() {
         let mut cache = DatasetCache::new();
         let rows = run(&mut cache, &[DatasetId::Dg01]);

@@ -11,4 +11,5 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig17;
+pub mod host_scaling;
 pub mod table3;

@@ -77,12 +77,59 @@ pub fn build_cst(q: &QueryGraph, g: &Graph, tree: &BfsTree) -> Cst {
     build_cst_with_stats(q, g, tree, CstOptions::default()).0
 }
 
+/// Computes the root candidate set (phase 1 for the root only): every data
+/// vertex passing the root's local filters, sorted by vertex id. This is the
+/// sharding axis of the parallel pipeline (`cst::pipeline`): splitting the
+/// returned list into contiguous chunks and calling
+/// [`build_cst_from_roots`] per chunk yields CSTs whose search spaces are
+/// disjoint at the root.
+pub fn root_candidates(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: CstOptions,
+) -> Vec<VertexId> {
+    let root = tree.root();
+    let filter = CandidateFilter::new(q, root);
+    let mut scratch = Vec::new();
+    let mut cands: Vec<VertexId> = g
+        .vertices_with_label(q.label(root))
+        .iter()
+        .copied()
+        .filter(|&v| {
+            if options.use_nlf {
+                filter.passes(g, v, &mut scratch)
+            } else {
+                filter.passes_basic(g, v)
+            }
+        })
+        .collect();
+    cands.sort_unstable();
+    cands
+}
+
 /// [`build_cst`] with explicit options and construction statistics.
 pub fn build_cst_with_stats(
     q: &QueryGraph,
     g: &Graph,
     tree: &BfsTree,
     options: CstOptions,
+) -> (Cst, BuildStats) {
+    let roots = root_candidates(q, g, tree, options);
+    build_cst_from_roots(q, g, tree, options, roots)
+}
+
+/// Builds the CST whose root candidate set is exactly `roots` (which must be
+/// sorted, deduplicated, and a subset of [`root_candidates`]). Phases 2-3 of
+/// Algorithm 1 run unchanged; only the root seeding differs. With the full
+/// root candidate list this is exactly [`build_cst_with_stats`]; with a
+/// chunk of it, the result is the shard CST of the parallel pipeline.
+pub fn build_cst_from_roots(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: CstOptions,
+    roots: Vec<VertexId>,
 ) -> (Cst, BuildStats) {
     let n = q.vertex_count();
     let filters: Vec<CandidateFilter> = q
@@ -112,21 +159,14 @@ pub fn build_cst_with_stats(
         }
     };
 
-    // --- Phase 1: top-down construction. ---
+    // --- Phase 1: top-down construction (root seeded by the caller). ---
     let root = tree.root();
     {
-        let filter = &filters[root.index()];
-        let mut cands: Vec<VertexId> = g
-            .vertices_with_label(q.label(root))
-            .iter()
-            .copied()
-            .filter(|&v| passes(filter, g, v, &mut scratch))
-            .collect();
-        cands.sort_unstable();
-        for &v in &cands {
+        debug_assert!(roots.windows(2).all(|w| w[0] < w[1]), "roots sorted+dedup");
+        for &v in &roots {
             set(&mut member[root.index()], v);
         }
-        candidates[root.index()] = cands;
+        candidates[root.index()] = roots;
     }
     for &u in &tree.bfs_order()[1..] {
         let up = tree.parent(u).expect("non-root has a parent");

@@ -12,16 +12,24 @@
 //! * [`partition_cst`] — Algorithm 2, greedy or fixed-`k` (Fig. 8);
 //! * [`estimate_workload`] — the `W_CST` dynamic program (Section V-C);
 //! * [`enumerate_embeddings`] — CST-only backtracking (Theorem 1), the CPU
-//!   share's matcher and the kernel's correctness oracle.
+//!   share's matcher and the kernel's correctness oracle;
+//! * [`pipeline`] — the sharded, multi-threaded host pipeline: shard CSTs
+//!   built on worker threads and merged ([`build_cst_sharded`]) or streamed
+//!   in shard order into the partitioner ([`for_each_shard_cst`]) so device
+//!   offload overlaps construction.
 
 pub mod construct;
 pub mod enumerate;
 pub mod filter;
 pub mod partition;
+pub mod pipeline;
 pub mod structure;
 pub mod workload;
 
-pub use construct::{build_cst, build_cst_with_stats, BuildStats, CstOptions};
+pub use construct::{
+    build_cst, build_cst_from_roots, build_cst_with_stats, root_candidates, BuildStats,
+    CstOptions,
+};
 pub use enumerate::{
     count_embeddings, enumerate_embeddings, EnumerationStats, MatchPlan,
 };
@@ -29,6 +37,10 @@ pub use filter::CandidateFilter;
 pub use partition::{
     fits, partition_cst, partition_cst_into, partition_cst_with_steal, shard_at_vertex,
     PartitionConfig, PartitionStats,
+};
+pub use pipeline::{
+    build_cst_sharded, for_each_shard_cst, merge_shard_csts, PipelineOptions, PipelineStats,
+    ShardCst, ShardReport, DEFAULT_SHARDS,
 };
 pub use structure::{CsrAdj, Cst};
 pub use workload::{estimate_workload, WorkloadEstimate};

@@ -22,6 +22,13 @@ pub struct PartitionConfig {
     pub delta_s: usize,
     /// δ_D: maximum candidate adjacency-list length (`Port_max`).
     pub delta_d: u32,
+    /// Hard cap on the *full* in-BRAM footprint of an emitted partition
+    /// ([`Cst::size_bytes`]: payload **plus** the CSR offsets scaffold).
+    /// δ_S deliberately checks only [`Cst::payload_bytes`] (see there), so
+    /// a scaffold-heavy partition could otherwise exceed the physical BRAM
+    /// budget by up to the scaffold's share; this post-fit check re-splits
+    /// such partitions. `None` disables the check (pure paper behaviour).
+    pub footprint_budget: Option<usize>,
     /// `Some(k)` forces a fixed partition factor (Fig. 8); `None` uses the
     /// paper's greedy ratio rule.
     pub fixed_k: Option<u32>,
@@ -36,6 +43,7 @@ impl Default for PartitionConfig {
             // with headroom for the partial-results buffer).
             delta_s: 16 << 20,
             delta_d: 4096,
+            footprint_budget: None,
             fixed_k: None,
             max_partitions: 1 << 20,
         }
@@ -59,11 +67,18 @@ pub struct PartitionStats {
     pub stolen: usize,
 }
 
-/// Whether `cst` satisfies both thresholds. δ_S is checked against
+/// Whether `cst` satisfies the thresholds. δ_S is checked against
 /// [`Cst::payload_bytes`] (see there for why the CSR offsets scaffold is
-/// excluded from the partitioning metric).
+/// excluded from the partitioning metric); the optional
+/// [`footprint_budget`](PartitionConfig::footprint_budget) additionally
+/// bounds the full scaffold-inclusive footprint, making the check
+/// BRAM-exact for scaffold-heavy partitions.
 pub fn fits(cst: &Cst, config: &PartitionConfig) -> bool {
-    cst.payload_bytes() <= config.delta_s && cst.max_candidate_degree() <= config.delta_d
+    cst.payload_bytes() <= config.delta_s
+        && cst.max_candidate_degree() <= config.delta_d
+        && config
+            .footprint_budget
+            .is_none_or(|budget| cst.size_bytes() <= budget)
 }
 
 /// Partitions `cst` until every part satisfies `config`, streaming parts into
@@ -146,12 +161,17 @@ fn recurse(
     }
 
     // k ← max(|CST|/δS, D_CST/δD), clamped to [2, |C(u)|] (Alg. 2 lines 2-3).
+    // A footprint budget adds its own ratio so scaffold-heavy CSTs split
+    // aggressively enough to reach the BRAM-exact bound.
     let k = match config.fixed_k {
         Some(k) => k as usize,
         None => {
             let by_size = cst.payload_bytes().div_ceil(config.delta_s);
             let by_degree = (cst.max_candidate_degree() as usize).div_ceil(config.delta_d as usize);
-            by_size.max(by_degree)
+            let by_footprint = config
+                .footprint_budget
+                .map_or(0, |budget| cst.size_bytes().div_ceil(budget.max(1)));
+            by_size.max(by_degree).max(by_footprint)
         }
     }
     .clamp(2, count);
@@ -349,6 +369,7 @@ mod tests {
         let config = PartitionConfig {
             delta_s: cst.size_bytes() / 4 + 64,
             delta_d: u32::MAX,
+            footprint_budget: None,
             fixed_k: None,
             max_partitions: 1 << 16,
         };
@@ -370,6 +391,7 @@ mod tests {
             let config = PartitionConfig {
                 delta_s: cst.size_bytes() / delta_div + 64,
                 delta_d: u32::MAX,
+                footprint_budget: None,
                 fixed_k: None,
                 max_partitions: 1 << 16,
             };
@@ -387,6 +409,7 @@ mod tests {
             let config = PartitionConfig {
                 delta_s: cst.size_bytes() / 3 + 64,
                 delta_d: u32::MAX,
+                footprint_budget: None,
                 fixed_k: Some(k),
                 max_partitions: 1 << 16,
             };
@@ -406,6 +429,7 @@ mod tests {
         let config = PartitionConfig {
             delta_s: usize::MAX,
             delta_d: d / 2,
+            footprint_budget: None,
             fixed_k: None,
             max_partitions: 1 << 16,
         };
@@ -433,6 +457,7 @@ mod tests {
         let config = PartitionConfig {
             delta_s: cst.size_bytes() / 6 + 64,
             delta_d: u32::MAX,
+            footprint_budget: None,
             fixed_k: None,
             max_partitions: 1 << 16,
         };
@@ -450,6 +475,7 @@ mod tests {
         let mk = |fixed_k| PartitionConfig {
             delta_s,
             delta_d: u32::MAX,
+            footprint_budget: None,
             fixed_k,
             max_partitions: 1 << 16,
         };
@@ -459,11 +485,45 @@ mod tests {
     }
 
     #[test]
+    fn footprint_budget_bounds_full_size() {
+        // Against payload-only δ_S, a partition's scaffold-inclusive size
+        // can exceed the intended BRAM budget; with `footprint_budget` set,
+        // every non-forced partition obeys the exact bound.
+        let (q, _, _, order, cst) = setup();
+        let budget = cst.size_bytes() / 4 + 96;
+        let config = PartitionConfig {
+            // δ_S generous on purpose: only the footprint check forces
+            // further splits here.
+            delta_s: cst.payload_bytes(),
+            delta_d: u32::MAX,
+            footprint_budget: Some(budget),
+            fixed_k: None,
+            max_partitions: 1 << 16,
+        };
+        let (parts, stats) = partition_cst(&cst, &order, &config);
+        assert!(parts.len() >= 2, "footprint check must trigger a split");
+        if stats.forced == 0 {
+            for p in &parts {
+                assert!(
+                    p.size_bytes() <= budget,
+                    "footprint {} exceeds budget {budget}",
+                    p.size_bytes()
+                );
+            }
+        }
+        // Disjointness/completeness is preserved under the extra splits.
+        let whole = count_embeddings(&cst, &q, &order);
+        let sum: u64 = parts.iter().map(|p| count_embeddings(p, &q, &order)).sum();
+        assert_eq!(sum, whole);
+    }
+
+    #[test]
     fn max_partitions_caps_output() {
         let (_, _, _, order, cst) = setup();
         let config = PartitionConfig {
             delta_s: 128,
             delta_d: u32::MAX,
+            footprint_budget: None,
             fixed_k: None,
             max_partitions: 3,
         };

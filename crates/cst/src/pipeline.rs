@@ -1,0 +1,519 @@
+//! Sharded, multi-threaded host-side CST pipeline.
+//!
+//! The paper's Remark (Section V-A) stresses that the FPGA sits idle while
+//! the CPU builds and partitions the CST, and the `probe` time split shows
+//! build + partition dominating host time at the larger datasets. This
+//! module parallelises and *overlaps* that host work:
+//!
+//! * the root candidate set is split into `shards` contiguous chunks — the
+//!   same axis the parallel baselines (`DAF-8`/`CECI-8`) and the multi-FPGA
+//!   extension shard on;
+//! * worker threads ([`std::thread::scope`]) run the full Algorithm 1 per
+//!   shard (top-down construction seeded by the shard's roots, bottom-up
+//!   refinement, non-tree-edge population);
+//! * finished shard CSTs are consumed **in shard order** on the caller's
+//!   thread — either merged back into one CST ([`build_cst_sharded`]) or
+//!   streamed straight into the partitioner ([`for_each_shard_cst`]) so
+//!   partitions reach the device while later shards are still being built.
+//!
+//! # Determinism
+//!
+//! Every shard CST depends only on `(q, g, tree, options, shard index,
+//! shard count)` — never on thread scheduling — and shards are consumed in
+//! index order. The output (merged CST, shard stream, and everything
+//! downstream: partition sequence, `ShareScheduler` bookings, embedding
+//! counts) is therefore **bit-identical for every thread count** at a fixed
+//! shard count. The default shard count is a thread-independent constant
+//! for exactly this reason. `tests/prop_pipeline_parallel.rs` enforces it.
+//!
+//! # Soundness of the shard decomposition
+//!
+//! Every embedding maps the root to exactly one root candidate, so shard
+//! search spaces are disjoint (the Example 3 argument at order position 0)
+//! and their union covers the sequential search space: per-shard bottom-up
+//! refinement sees smaller candidate sets and may prune *more* than the
+//! sequential pass, but never a candidate participating in an embedding
+//! rooted in the shard. Summed (or merged) embedding counts are identical
+//! to the sequential pipeline's.
+
+use crate::construct::{build_cst_from_roots, root_candidates, BuildStats, CstOptions};
+use crate::structure::{CsrAdj, Cst};
+use crate::workload::estimate_workload;
+use graph_core::{BfsTree, Graph, QueryGraph, QueryVertexId, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default shard count. Deliberately **independent of the thread count** so
+/// that shard decomposition — and with it every downstream artefact — is
+/// identical whether the pipeline runs on 1 or 8 workers. 16 shards keep 8
+/// workers busy with ~2 shards each while bounding the duplicated candidate
+/// work on interior query vertices.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Knobs of the sharded pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Worker threads building shard CSTs. 1 = fully sequential (build and
+    /// consumption interleave on the caller's thread, no spawning).
+    pub threads: usize,
+    /// Shard (batch) count; `None` resolves to [`DEFAULT_SHARDS`]. Clamped
+    /// to the root candidate count. Must not be derived from `threads` —
+    /// see the module docs on determinism.
+    pub shards: Option<usize>,
+    /// CST construction pruning strength, forwarded to Algorithm 1.
+    pub cst: CstOptions,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            threads: 1,
+            shards: None,
+            cst: CstOptions::default(),
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Sequential single-shard pipeline: exactly `build_cst_with_stats`.
+    pub fn sequential(cst: CstOptions) -> Self {
+        PipelineOptions {
+            threads: 1,
+            shards: Some(1),
+            cst,
+        }
+    }
+
+    /// Resolves the effective shard count for `root_count` root candidates.
+    pub fn resolve_shards(&self, root_count: usize) -> usize {
+        self.shards.unwrap_or(DEFAULT_SHARDS).clamp(1, root_count.max(1))
+    }
+}
+
+/// Per-shard record of the pipeline run.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index (consumption order).
+    pub shard: usize,
+    /// Root candidates in this shard.
+    pub roots: usize,
+    /// Wall time the worker spent building this shard's CST.
+    pub build_time: Duration,
+    /// Adjacency entries materialised for this shard (the build-cost unit
+    /// of `matching::CpuCostModel::index_time_sec`).
+    pub adjacency_entries: usize,
+    /// Estimated embeddings in the shard CST (`W_CST`); exposes shard skew.
+    pub workload: f64,
+}
+
+/// Aggregate statistics of a sharded pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Effective shard count after clamping.
+    pub shards: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total root candidates (over all shards).
+    pub root_candidates: usize,
+    /// Per-shard reports, in shard order.
+    pub shard_reports: Vec<ShardReport>,
+    /// Wall time of the build phase: pipeline start → last shard's *build*
+    /// finished (consumer-side work on earlier shards is excluded in the
+    /// threaded mode; in sequential mode build and consumption interleave
+    /// on one thread, so interleaved consumption is unavoidably included).
+    pub build_wall: Duration,
+    /// Sum of per-shard build times — the total CPU work, which *exceeds*
+    /// the sequential build's because interior candidates shared by several
+    /// shards are re-derived per shard.
+    pub build_cpu: Duration,
+}
+
+impl PipelineStats {
+    /// Total adjacency entries built across shards (≥ the sequential
+    /// build's count; the duplication factor is `build_entries / sequential
+    /// entries`).
+    pub fn total_adjacency_entries(&self) -> usize {
+        self.shard_reports.iter().map(|r| r.adjacency_entries).sum()
+    }
+
+    /// Wall time until the *first* shard CST was ready — the pipeline's
+    /// fill latency; nothing downstream can overlap with it.
+    pub fn first_shard_time(&self) -> Duration {
+        self.shard_reports
+            .first()
+            .map(|r| r.build_time)
+            .unwrap_or_default()
+    }
+}
+
+/// A shard CST travelling down the pipeline.
+#[derive(Debug)]
+pub struct ShardCst {
+    /// The shard's CST (root candidates restricted to the shard's chunk).
+    pub cst: Cst,
+    /// Build statistics of this shard.
+    pub stats: BuildStats,
+    /// The shard report (also collected in [`PipelineStats`]).
+    pub report: ShardReport,
+}
+
+/// Splits `count` root candidates into `shards` chunks, returning the chunk
+/// boundaries (the same even-split rule as Algorithm 2 line 4). Shared with
+/// `WorkloadEstimate::shard_workloads` so the skew diagnostic always splits
+/// exactly like the pipeline.
+pub(crate) fn shard_ranges(count: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.clamp(1, count.max(1));
+    let base = count / shards;
+    let extra = count % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Builds the shard with the given index. Pure function of its arguments —
+/// the determinism anchor of the whole pipeline.
+fn build_shard(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: CstOptions,
+    roots: &[VertexId],
+    range: std::ops::Range<usize>,
+    shard: usize,
+) -> ShardCst {
+    let t0 = Instant::now();
+    let chunk = roots[range.clone()].to_vec();
+    let root_count = chunk.len();
+    let (cst, stats) = build_cst_from_roots(q, g, tree, options, chunk);
+    // Stop the clock before the workload DP: it is a skew diagnostic, not
+    // part of Algorithm 1, and must not inflate the measured build time.
+    let build_time = t0.elapsed();
+    let workload = estimate_workload(&cst, tree).total;
+    ShardCst {
+        report: ShardReport {
+            shard,
+            roots: root_count,
+            build_time,
+            adjacency_entries: stats.adjacency_entries,
+            workload,
+        },
+        cst,
+        stats,
+    }
+}
+
+/// Runs the sharded build and hands every shard CST to `consume` **on the
+/// caller's thread, in shard order**, while worker threads keep building
+/// later shards. This is the streaming (overlapped) mode: `consume`
+/// typically partitions the shard and offloads/books partitions, so the
+/// device receives work while the host is still constructing.
+///
+/// With `threads <= 1` no threads are spawned; build and consumption
+/// interleave sequentially with identical output.
+pub fn for_each_shard_cst<F: FnMut(ShardCst)>(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: &PipelineOptions,
+    mut consume: F,
+) -> PipelineStats {
+    let roots = root_candidates(q, g, tree, options.cst);
+    let shards = options.resolve_shards(roots.len());
+    let ranges = shard_ranges(roots.len(), shards);
+    let wall0 = Instant::now();
+    let mut stats = PipelineStats {
+        shards,
+        threads: options.threads.max(1).min(shards),
+        root_candidates: roots.len(),
+        shard_reports: Vec::with_capacity(shards),
+        build_wall: Duration::ZERO,
+        build_cpu: Duration::ZERO,
+    };
+
+    let mut take = |shard: ShardCst, stats: &mut PipelineStats| {
+        stats.build_cpu += shard.report.build_time;
+        stats.shard_reports.push(shard.report.clone());
+        consume(shard);
+    };
+
+    if stats.threads <= 1 {
+        for (i, range) in ranges.into_iter().enumerate() {
+            let shard = build_shard(q, g, tree, options.cst, &roots, range, i);
+            stats.build_wall = wall0.elapsed();
+            take(shard, &mut stats);
+        }
+        return stats;
+    }
+
+    let next = AtomicUsize::new(0);
+    // Latest build-completion timestamp across workers — consumer-side
+    // partitioning of earlier shards must not count as build time.
+    let build_done: Mutex<Duration> = Mutex::new(Duration::ZERO);
+    let (tx, rx) = mpsc::channel::<ShardCst>();
+    let ranges_ref = &ranges;
+    let roots_ref = &roots;
+    std::thread::scope(|scope| {
+        for _ in 0..stats.threads {
+            let tx = tx.clone();
+            let next = &next;
+            let build_done = &build_done;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ranges_ref.len() {
+                        return;
+                    }
+                    let shard = build_shard(
+                        q,
+                        g,
+                        tree,
+                        options.cst,
+                        roots_ref,
+                        ranges_ref[i].clone(),
+                        i,
+                    );
+                    let done = wall0.elapsed();
+                    let mut latest = build_done.lock().expect("timestamp lock");
+                    if done > *latest {
+                        *latest = done;
+                    }
+                    drop(latest);
+                    if tx.send(shard).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Consume in shard order: out-of-order arrivals wait in `pending`.
+        let mut pending: std::collections::BTreeMap<usize, ShardCst> =
+            std::collections::BTreeMap::new();
+        let mut want = 0usize;
+        while want < shards {
+            let shard = match pending.remove(&want) {
+                Some(s) => s,
+                None => {
+                    let s = rx.recv().expect("worker panicked before finishing shards");
+                    if s.report.shard != want {
+                        pending.insert(s.report.shard, s);
+                        continue;
+                    }
+                    s
+                }
+            };
+            want += 1;
+            take(shard, &mut stats);
+        }
+    });
+    stats.build_wall = *build_done.lock().expect("timestamp lock");
+    stats
+}
+
+/// Builds the CST with the sharded parallel pipeline and **merges** the
+/// shard CSTs back into a single CST.
+///
+/// With one shard the result is exactly `build_cst_with_stats`. With
+/// several, the merged CST can be *smaller* (per-shard refinement prunes
+/// more), but it contains every embedding: counts are identical to the
+/// sequential pipeline, and the merge is deterministic for every thread
+/// count at a fixed shard count.
+pub fn build_cst_sharded(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: &PipelineOptions,
+) -> (Cst, PipelineStats) {
+    let mut shards: Vec<ShardCst> = Vec::new();
+    let stats = for_each_shard_cst(q, g, tree, options, |s| shards.push(s));
+    let merged = merge_shard_csts(q, shards.iter().map(|s| &s.cst));
+    (merged, stats)
+}
+
+/// Merges shard CSTs (disjoint at the root, overlapping elsewhere) into one
+/// CST: candidate sets are sorted unions, adjacency lists are per-candidate
+/// unions remapped to merged indices.
+pub fn merge_shard_csts<'a, I>(q: &QueryGraph, shards: I) -> Cst
+where
+    I: IntoIterator<Item = &'a Cst>,
+{
+    let shards: Vec<&Cst> = shards.into_iter().collect();
+    assert!(!shards.is_empty(), "need at least one shard CST");
+    if shards.len() == 1 {
+        return shards[0].clone();
+    }
+    let n = shards[0].query_vertex_count();
+
+    // Merged candidate sets: sorted union per query vertex.
+    let mut merged_candidates: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    for u in 0..n {
+        let qu = QueryVertexId::from_index(u);
+        let mut all: Vec<VertexId> = shards
+            .iter()
+            .flat_map(|s| s.candidates(qu).iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        merged_candidates.push(all);
+    }
+
+    // Shard-local index → merged index, per shard per query vertex.
+    let remap: Vec<Vec<Vec<u32>>> = shards
+        .iter()
+        .map(|s| {
+            (0..n)
+                .map(|u| {
+                    let qu = QueryVertexId::from_index(u);
+                    s.candidates(qu)
+                        .iter()
+                        .map(|v| {
+                            merged_candidates[u]
+                                .binary_search(v)
+                                .expect("shard candidate must be in merged set")
+                                as u32
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Merged adjacency: union of remapped shard lists per merged candidate.
+    let mut pairs = Vec::new();
+    for (a, b) in shards[0].directed_edges() {
+        let src_count = merged_candidates[a.index()].len();
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); src_count];
+        for (si, s) in shards.iter().enumerate() {
+            let adj = s.adjacency(a, b);
+            let map_a = &remap[si][a.index()];
+            let map_b = &remap[si][b.index()];
+            for i in 0..adj.source_count() {
+                let list = &mut lists[map_a[i] as usize];
+                for &t in adj.neighbors(i) {
+                    list.push(map_b[t as usize]);
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(src_count + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for mut list in lists {
+            list.sort_unstable();
+            list.dedup();
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len() as u32);
+        }
+        pairs.push(((a, b), CsrAdj { offsets, targets }));
+    }
+    let _ = q; // signature keeps the query for future edge-set validation
+    Cst::from_parts(n, merged_candidates, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{build_cst, build_cst_with_stats};
+    use crate::enumerate::count_embeddings;
+    use graph_core::generators::random_labelled_graph;
+    use graph_core::{Label, MatchingOrder, QueryGraph};
+
+    fn l(x: u16) -> Label {
+        Label::new(x)
+    }
+
+    fn setup() -> (QueryGraph, Graph, BfsTree, MatchingOrder) {
+        let q = QueryGraph::new(
+            vec![l(0), l(1), l(0), l(1)],
+            &[(0, 1), (1, 2), (2, 3), (3, 0)],
+        )
+        .unwrap();
+        let g = random_labelled_graph(90, 0.12, 2, 77);
+        let tree = BfsTree::new(&q, QueryVertexId::from_index(0));
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).unwrap();
+        (q, g, tree, order)
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_sequential() {
+        let (q, g, tree, _) = setup();
+        let (seq, seq_stats) = build_cst_with_stats(&q, &g, &tree, CstOptions::default());
+        let opts = PipelineOptions::sequential(CstOptions::default());
+        let (par, stats) = build_cst_sharded(&q, &g, &tree, &opts);
+        assert_eq!(stats.shards, 1);
+        for u in q.vertices() {
+            assert_eq!(seq.candidates(u), par.candidates(u));
+        }
+        assert_eq!(seq.total_adjacency_entries(), par.total_adjacency_entries());
+        assert_eq!(stats.total_adjacency_entries(), seq_stats.adjacency_entries);
+    }
+
+    #[test]
+    fn sharded_counts_match_sequential_for_all_shard_counts() {
+        let (q, g, tree, order) = setup();
+        let seq = build_cst(&q, &g, &tree);
+        let whole = count_embeddings(&seq, &q, &order);
+        for shards in [1, 2, 3, 5, 8, 64] {
+            let opts = PipelineOptions {
+                threads: 2,
+                shards: Some(shards),
+                cst: CstOptions::default(),
+            };
+            let (merged, stats) = build_cst_sharded(&q, &g, &tree, &opts);
+            merged.validate(&q).unwrap();
+            assert_eq!(
+                count_embeddings(&merged, &q, &order),
+                whole,
+                "shards={shards}"
+            );
+            assert_eq!(
+                stats.shard_reports.iter().map(|r| r.roots).sum::<usize>(),
+                stats.root_candidates
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_sum_matches_sequential() {
+        let (q, g, tree, order) = setup();
+        let seq = build_cst(&q, &g, &tree);
+        let whole = count_embeddings(&seq, &q, &order);
+        for threads in [1, 4] {
+            let opts = PipelineOptions {
+                threads,
+                shards: Some(6),
+                cst: CstOptions::default(),
+            };
+            let mut sum = 0u64;
+            let mut seen = Vec::new();
+            let stats = for_each_shard_cst(&q, &g, &tree, &opts, |s| {
+                seen.push(s.report.shard);
+                sum += count_embeddings(&s.cst, &q, &order);
+            });
+            assert_eq!(sum, whole, "threads={threads}");
+            assert_eq!(seen, (0..stats.shards).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        for count in [0usize, 1, 5, 16, 17, 100] {
+            for shards in [1usize, 2, 7, 16, 200] {
+                let ranges = shard_ranges(count, shards);
+                let mut total = 0usize;
+                let mut prev_end = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end);
+                    prev_end = r.end;
+                    total += r.len();
+                }
+                assert_eq!(total, count, "count={count} shards={shards}");
+            }
+        }
+    }
+}

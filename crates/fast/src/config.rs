@@ -25,6 +25,17 @@ pub struct FastConfig {
     pub collect: CollectMode,
     /// Safety cap on partition count.
     pub max_partitions: usize,
+    /// Host-side worker threads for the sharded CST pipeline
+    /// (`cst::pipeline`). `1` (default) runs the sequential flow of Fig. 2;
+    /// `> 1` builds shard CSTs on worker threads and streams them through
+    /// the partitioner so offload overlaps construction. Embedding counts
+    /// are identical for every value (`tests/prop_pipeline_parallel.rs`).
+    pub host_threads: usize,
+    /// Shard (batch) count of the pipelined host path; `None` resolves to
+    /// `cst::DEFAULT_SHARDS`. Deliberately **not** derived from
+    /// `host_threads`, so all downstream artefacts are thread-count
+    /// independent. Ignored when `host_threads == 1`.
+    pub pipeline_shards: Option<usize>,
 }
 
 impl Default for FastConfig {
@@ -38,6 +49,8 @@ impl Default for FastConfig {
             fixed_k: None,
             collect: CollectMode::CountOnly,
             max_partitions: 1 << 20,
+            host_threads: 1,
+            pipeline_shards: None,
         }
     }
 }
@@ -71,14 +84,14 @@ impl FastConfig {
     /// δ_S is checked against `Cst::payload_bytes`, which excludes the CSR
     /// offsets scaffold, while BRAM must hold the full footprint. The grant
     /// therefore scales the budget by the CST's measured payload share
-    /// (`payload / footprint`). This is an *average-share* reservation, not
-    /// a hard per-partition bound: a partition whose adjacency prunes faster
-    /// than its candidate sets is scaffold-heavier than the whole CST and
-    /// can exceed the modelled budget by up to the scaffold's share. The
-    /// exact per-partition guarantee would need `budget / |V(q)|`
-    /// conservatism (offsets scale with per-edge source-candidate counts),
-    /// which explodes partition counts; exact BRAM accounting is tracked as
-    /// a ROADMAP item.
+    /// (`payload / footprint`) — the greedy split target — and additionally
+    /// sets `footprint_budget` to the **raw** budget, so the partitioner's
+    /// post-fit check re-splits any partition whose scaffold-inclusive
+    /// `Cst::size_bytes` would overflow the physical BRAM. The average-share
+    /// δ_S alone is not a per-partition bound (a partition whose adjacency
+    /// prunes faster than its candidate sets is scaffold-heavier than the
+    /// whole CST); the footprint check closes exactly that gap without the
+    /// `budget / |V(q)|` conservatism that would explode partition counts.
     pub fn partition_config(&self, query_len: usize, cst: &cst::Cst) -> PartitionConfig {
         let partial_bytes = std::mem::size_of::<crate::buffer::Partial>();
         let budget = self.spec.cst_bram_budget(query_len, partial_bytes);
@@ -92,8 +105,19 @@ impl FastConfig {
         PartitionConfig {
             delta_s: delta_s.max(1),
             delta_d: self.spec.port_max,
+            footprint_budget: Some(budget.max(1)),
             fixed_k: self.fixed_k,
             max_partitions: self.max_partitions,
+        }
+    }
+
+    /// The sharded-pipeline options induced by this configuration
+    /// (`cst::pipeline`).
+    pub fn pipeline_options(&self) -> cst::PipelineOptions {
+        cst::PipelineOptions {
+            threads: self.host_threads.max(1),
+            shards: self.pipeline_shards,
+            cst: self.cst_options,
         }
     }
 

@@ -1,6 +1,8 @@
 //! The host-side driver: the full CPU-FPGA co-designed flow of Fig. 2.
 //!
-//! 1. construct the CST (Section V-A, measured on the real CPU);
+//! 1. construct the CST (Section V-A, measured on the real CPU) — either
+//!    sequentially or on the sharded multi-threaded pipeline
+//!    (`cst::pipeline`, enabled by [`FastConfig::host_threads`] > 1);
 //! 2. partition it to fit the kernel's BRAM budget (Section V-B);
 //! 3. offload partitions over the modelled PCIe link and run the emulated
 //!    kernel on each (Section VI), while FAST-SHARE books a bounded share of
@@ -8,23 +10,44 @@
 //!    partitioning work;
 //! 4. aggregate embeddings and derive elapsed time.
 //!
-//! Timing model: host-side work (CST construction, partitioning, the CPU
-//! matching share) is both *measured* on this machine and *modelled* on the
-//! paper's Xeon via [`matching::CpuCostModel`], so that the end-to-end
-//! number is hardware-consistent with the modelled 300 MHz kernel (see
-//! cost_model docs). The paper overlaps partitioning with kernel execution
-//! (partitions stream to the card as they are produced), so the modelled
-//! elapsed time is `build + max(partition + cpu_share, transfer + kernel)`.
+//! # Timing model
+//!
+//! Host-side work (CST construction, partitioning, the CPU matching share)
+//! is both *measured* on this machine and *modelled* on the paper's Xeon via
+//! [`matching::CpuCostModel`], so that the end-to-end number is
+//! hardware-consistent with the modelled 300 MHz kernel (see cost_model
+//! docs). The paper overlaps partitioning with kernel execution (partitions
+//! stream to the card as they are produced); the sharded pipeline
+//! additionally overlaps *construction* with both. The generalised elapsed
+//! model with `T` host threads and `S` shards is
+//!
+//! ```text
+//! build_par = build / (T · e)          # e = parallel efficiency; T=1 ⇒ build
+//! fill      = build_par / S            # first shard ready; nothing overlaps it
+//! host      = fill + max(build_par − fill, partition) + cpu_share
+//! device    = fill + transfer + kernel
+//! elapsed   = max(host, device)
+//! ```
+//!
+//! With `T = S = 1` this degenerates exactly to the paper's
+//! `build + max(partition + cpu_share, transfer + kernel)`. The `fill` term
+//! is the pipeline's startup latency: the device cannot receive its first
+//! partition before the first shard CST exists, and the host's partition
+//! stream runs concurrently with the remaining `build_par − fill` of
+//! construction. Derivation and calibration live in EXPERIMENTS.md.
 
 use crate::config::FastConfig;
 use crate::kernel::{run_kernel, CollectMode, KernelOutput};
 use crate::plan::{KernelPlan, PlanError};
 use crate::scheduler::ShareScheduler;
 use crate::variants::Variant;
-use cst::{build_cst_with_stats, estimate_workload, partition_cst_with_steal, Cst};
+use cst::{
+    build_cst_with_stats, estimate_workload, for_each_shard_cst, partition_cst_with_steal, Cst,
+    PartitionConfig,
+};
 use fpga_sim::WorkloadCounts;
-use matching::CpuCostModel;
 use graph_core::{path_based_order, select_root, BfsTree, Graph, MatchingOrder, QueryGraph, VertexId};
+use matching::CpuCostModel;
 use std::time::{Duration, Instant};
 
 /// Errors from a FAST run.
@@ -72,14 +95,35 @@ pub struct FastReport {
     /// Estimated workloads booked per side.
     pub workload_cpu: f64,
     pub workload_fpga: f64,
-    /// Measured host time: CST construction.
+    /// Host threads used by the CST pipeline (1 = sequential flow).
+    pub host_threads: usize,
+    /// Shards the root candidate set was split into (1 = unsharded).
+    pub pipeline_shards: usize,
+    /// Measured wall time of the CST build phase (first shard started →
+    /// last shard finished; equals the full build for the sequential flow).
     pub build_time: Duration,
+    /// Total CPU time spent building shard CSTs. Exceeds
+    /// [`build_time`](Self::build_time) when threads overlap; exceeds the
+    /// sequential build when sharding duplicates interior candidates.
+    pub build_cpu_time: Duration,
     /// Measured host time: partitioning (including workload estimation).
     pub partition_time: Duration,
     /// Measured host time: CPU-share matching.
     pub cpu_match_time: Duration,
+    /// Measured wall time of the whole host preparation (build overlapped
+    /// with partition/offload), excluding the inline emulated kernel.
+    pub host_prepare_wall: Duration,
+    /// Measured wall time until the first partition was offloaded (the
+    /// device's idle prefix; falls back to the build wall when every
+    /// partition landed on the CPU).
+    pub first_offload_wall: Duration,
     /// Host times normalised to the paper's Xeon (see `CpuCostModel`).
+    /// `modeled_build_sec` is the *total* construction work (all shards).
     pub modeled_build_sec: f64,
+    /// Construction work divided over the pipeline's effective threads.
+    pub modeled_build_parallel_sec: f64,
+    /// Modelled pipeline fill latency (first shard CST ready).
+    pub modeled_fill_sec: f64,
     pub modeled_partition_sec: f64,
     pub modeled_cpu_match_sec: f64,
     /// Modelled kernel cycles (all FPGA partitions, this variant's model).
@@ -101,47 +145,38 @@ pub struct FastReport {
 }
 
 impl FastReport {
-    /// The modelled end-to-end elapsed time (seconds): host work on the
-    /// paper's Xeon plus kernel/transfer time on the modelled card, with
-    /// partitioning overlapped against kernel execution as in the design.
+    /// The modelled end-to-end elapsed time (seconds) under the overlapped
+    /// regime (module docs): host work on the paper's Xeon plus
+    /// kernel/transfer time on the modelled card. For the sequential flow
+    /// this is exactly the paper's
+    /// `build + max(partition + cpu_share, transfer + kernel)`.
     pub fn modeled_total_sec(&self) -> f64 {
-        let host_side = self.modeled_partition_sec + self.modeled_cpu_match_sec;
-        let kernel_side = self.transfer_time_sec + self.kernel_time_sec;
-        self.modeled_build_sec + host_side.max(kernel_side)
+        let host = self.modeled_fill_sec
+            + (self.modeled_build_parallel_sec - self.modeled_fill_sec)
+                .max(self.modeled_partition_sec)
+            + self.modeled_cpu_match_sec;
+        let device = self.modeled_fill_sec + self.transfer_time_sec + self.kernel_time_sec;
+        host.max(device)
     }
 
     /// Like [`FastReport::modeled_total_sec`] but with host work *measured*
-    /// on this machine instead of normalised.
+    /// on this machine instead of normalised: the measured overlapped
+    /// preparation wall plus the CPU share, against the device side gated
+    /// by the measured time-to-first-offload.
     pub fn measured_total_sec(&self) -> f64 {
-        let host_side = self.partition_time.as_secs_f64() + self.cpu_match_time.as_secs_f64();
-        let kernel_side = self.transfer_time_sec + self.kernel_time_sec;
-        self.build_time.as_secs_f64() + host_side.max(kernel_side)
+        let host = self.host_prepare_wall.as_secs_f64() + self.cpu_match_time.as_secs_f64();
+        let device =
+            self.first_offload_wall.as_secs_f64() + self.transfer_time_sec + self.kernel_time_sec;
+        host.max(device)
     }
 }
 
 /// Runs the co-designed framework on `(q, g)`.
 pub fn run_fast(q: &QueryGraph, g: &Graph, config: &FastConfig) -> Result<FastReport, FastError> {
-    let wall_start = Instant::now();
-
-    // --- Host: CST construction (Fig. 2 step 1). ---
-    let build_start = Instant::now();
     let root = select_root(q, g);
     let tree = BfsTree::new(q, root);
     let order = path_based_order(q, &tree, g);
-    let (cst, build_stats) = build_cst_with_stats(q, g, &tree, config.cst_options);
-    let build_time = build_start.elapsed();
-
-    run_fast_with_prepared(
-        q,
-        g,
-        config,
-        &tree,
-        &order,
-        &cst,
-        build_stats.adjacency_entries,
-        build_time,
-        wall_start,
-    )
+    run_fast_with_tree(q, g, config, &tree, &order)
 }
 
 /// Runs FAST with an explicit matching order (Fig. 15's order-sensitivity
@@ -152,30 +187,150 @@ pub fn run_fast_with_order(
     config: &FastConfig,
     order: &MatchingOrder,
 ) -> Result<FastReport, FastError> {
-    let wall_start = Instant::now();
-    let build_start = Instant::now();
     // The BFS tree must be rooted at the order's first vertex so that the
     // CST parent structure is compatible with the order.
     let tree = BfsTree::new(q, order.first());
-    let (cst, build_stats) = build_cst_with_stats(q, g, &tree, config.cst_options);
-    let build_time = build_start.elapsed();
-    run_fast_with_prepared(
-        q,
-        g,
-        config,
-        &tree,
-        order,
-        &cst,
-        build_stats.adjacency_entries,
-        build_time,
-        wall_start,
-    )
+    run_fast_with_tree(q, g, config, &tree, order)
 }
 
+fn run_fast_with_tree(
+    q: &QueryGraph,
+    g: &Graph,
+    config: &FastConfig,
+    tree: &BfsTree,
+    order: &MatchingOrder,
+) -> Result<FastReport, FastError> {
+    if config.host_threads > 1 {
+        run_fast_pipelined(q, g, config, tree, order)
+    } else {
+        let wall_start = Instant::now();
+        let build_start = Instant::now();
+        let (cst, build_stats) = build_cst_with_stats(q, g, tree, config.cst_options);
+        let build_time = build_start.elapsed();
+        run_fast_with_prepared(
+            q,
+            config,
+            tree,
+            order,
+            &cst,
+            build_stats.adjacency_entries,
+            build_time,
+            wall_start,
+        )
+    }
+}
+
+/// Shared partition/offload/schedule state (Fig. 2 steps 2/3/5). Both the
+/// sequential flow (one whole CST) and the pipelined flow (one call per
+/// shard CST, in shard order) drive partitions through
+/// [`OffloadState::partition_and_offload`]; the kernel is invoked inline
+/// per partition — its *time* is modelled, not measured, so inline
+/// execution is equivalent to streaming.
+struct OffloadState<'a> {
+    config: &'a FastConfig,
+    plan: &'a KernelPlan,
+    tree: &'a BfsTree,
+    prepare_start: Instant,
+    scheduler: ShareScheduler,
+    cpu_queue: Vec<Cst>,
+    fpga_outputs: Vec<KernelOutput>,
+    transfer_bytes: usize,
+    cst_bytes_total: usize,
+    stolen: usize,
+    stolen_entries: usize,
+    forced: usize,
+    /// Inline (emulated) kernel execution time, excluded from host times.
+    kernel_wall: Duration,
+    /// Wall timestamp of the first FPGA offload.
+    first_offload: Option<Duration>,
+}
+
+impl<'a> OffloadState<'a> {
+    fn new(config: &'a FastConfig, plan: &'a KernelPlan, tree: &'a BfsTree) -> Self {
+        let delta = if config.variant.shares_with_cpu() {
+            config.delta
+        } else {
+            0.0
+        };
+        OffloadState {
+            config,
+            plan,
+            tree,
+            prepare_start: Instant::now(),
+            scheduler: ShareScheduler::new(delta),
+            cpu_queue: Vec::new(),
+            fpga_outputs: Vec::new(),
+            transfer_bytes: 0,
+            cst_bytes_total: 0,
+            stolen: 0,
+            stolen_entries: 0,
+            forced: 0,
+            kernel_wall: Duration::ZERO,
+            first_offload: None,
+        }
+    }
+
+    /// Partitions one CST, booking each partition to a side (Algorithm 3)
+    /// and running the kernel inline on FPGA-bound ones. Partitions booked
+    /// to the CPU are cached and processed after the partition phase
+    /// (Section V-C: "CST is temporarily cached and will be processed when
+    /// all partition procedure finishes").
+    fn partition_and_offload(
+        &mut self,
+        cst: &Cst,
+        order: &MatchingOrder,
+        partition_config: &PartitionConfig,
+    ) {
+        // Both hooks mutate the same scheduling state; the partitioner takes
+        // them as two independent `&mut dyn FnMut`, so share via RefCell.
+        let shared = std::cell::RefCell::new(&mut *self);
+        let mut steal = |oversized: &Cst| -> bool {
+            let mut s = shared.borrow_mut();
+            if !s.config.variant.shares_with_cpu() {
+                return false;
+            }
+            let w = estimate_workload(oversized, s.tree).total;
+            if s.scheduler.would_assign_cpu(w) {
+                s.scheduler.book_cpu(w);
+                s.stolen_entries += oversized.total_adjacency_entries();
+                s.cpu_queue.push(oversized.clone());
+                true
+            } else {
+                false
+            }
+        };
+        let mut sink = |partition: Cst| {
+            let mut s = shared.borrow_mut();
+            let s = &mut **s;
+            let w = estimate_workload(&partition, s.tree).total;
+            match s.scheduler.assign(w) {
+                crate::scheduler::Assignment::Cpu => s.cpu_queue.push(partition),
+                crate::scheduler::Assignment::Fpga => {
+                    let bytes = partition.size_bytes();
+                    s.transfer_bytes += bytes;
+                    s.cst_bytes_total += bytes;
+                    if s.first_offload.is_none() {
+                        s.first_offload =
+                            Some(s.prepare_start.elapsed().saturating_sub(s.kernel_wall));
+                    }
+                    let t0 = Instant::now();
+                    let out =
+                        run_kernel(&partition, s.plan, s.config.spec.no, s.config.collect);
+                    s.kernel_wall += t0.elapsed();
+                    s.fpga_outputs.push(out);
+                }
+            }
+        };
+        let stats = partition_cst_with_steal(cst, order, partition_config, &mut steal, &mut sink);
+        self.stolen += stats.stolen;
+        self.forced += stats.forced;
+    }
+}
+
+/// Runs the sequential (unsharded) flow on a pre-built CST.
 #[allow(clippy::too_many_arguments)]
 fn run_fast_with_prepared(
     q: &QueryGraph,
-    _g: &Graph,
     config: &FastConfig,
     tree: &BfsTree,
     order: &MatchingOrder,
@@ -187,86 +342,138 @@ fn run_fast_with_prepared(
     let cpu_cost = CpuCostModel::default();
     let plan = KernelPlan::new(q, order, tree)?;
     let partition_config = config.partition_config(q.vertex_count(), cst);
-    let model = config.cycle_model();
-    let delta = if config.variant.shares_with_cpu() {
-        config.delta
-    } else {
-        0.0
-    };
-    let mut scheduler = ShareScheduler::new(delta);
 
-    // Partitions booked to the CPU are cached and processed after the
-    // partition phase (Section V-C: "CST is temporarily cached and will be
-    // processed when all partition procedure finishes").
-    let mut cpu_queue: Vec<Cst> = Vec::new();
-    let mut fpga_outputs: Vec<KernelOutput> = Vec::new();
-    let mut transfer_bytes = 0usize;
-    let mut cst_bytes_total = 0usize;
-    let mut stolen = 0usize;
-    let mut stolen_entries = 0usize;
-
-    // --- Host: partition + schedule (Fig. 2 steps 2/3/5). The kernel is
-    //     invoked inline per partition; its *time* is modelled, not
-    //     measured, so inline execution is equivalent to streaming. ---
     let partition_start = Instant::now();
-    let mut kernel_wall = Duration::ZERO;
-    let stats = {
-        // Both hooks mutate the same scheduling state; the partitioner takes
-        // them as two independent `&mut dyn FnMut`, so share via RefCell.
-        struct Shared<'s> {
-            scheduler: &'s mut ShareScheduler,
-            cpu_queue: &'s mut Vec<Cst>,
-            fpga_outputs: &'s mut Vec<KernelOutput>,
-            transfer_bytes: &'s mut usize,
-            cst_bytes_total: &'s mut usize,
-            stolen_entries: &'s mut usize,
-            kernel_wall: &'s mut Duration,
-        }
-        let shared = std::cell::RefCell::new(Shared {
-            scheduler: &mut scheduler,
-            cpu_queue: &mut cpu_queue,
-            fpga_outputs: &mut fpga_outputs,
-            transfer_bytes: &mut transfer_bytes,
-            cst_bytes_total: &mut cst_bytes_total,
-            stolen_entries: &mut stolen_entries,
-            kernel_wall: &mut kernel_wall,
-        });
-        let mut steal = |oversized: &Cst| -> bool {
-            if !config.variant.shares_with_cpu() {
-                return false;
-            }
-            let mut s = shared.borrow_mut();
-            let w = estimate_workload(oversized, tree).total;
-            if s.scheduler.would_assign_cpu(w) {
-                s.scheduler.book_cpu(w);
-                *s.stolen_entries += oversized.total_adjacency_entries();
-                s.cpu_queue.push(oversized.clone());
-                true
-            } else {
-                false
-            }
-        };
-        let mut sink = |partition: Cst| {
-            let mut s = shared.borrow_mut();
-            let w = estimate_workload(&partition, tree).total;
-            match s.scheduler.assign(w) {
-                crate::scheduler::Assignment::Cpu => s.cpu_queue.push(partition),
-                crate::scheduler::Assignment::Fpga => {
-                    let bytes = partition.size_bytes();
-                    *s.transfer_bytes += bytes;
-                    *s.cst_bytes_total += bytes;
-                    let t0 = Instant::now();
-                    let out = run_kernel(&partition, &plan, config.spec.no, config.collect);
-                    *s.kernel_wall += t0.elapsed();
-                    s.fpga_outputs.push(out);
-                }
-            }
-        };
-        partition_cst_with_steal(cst, order, &partition_config, &mut steal, &mut sink)
-    };
-    stolen += stats.stolen;
+    let mut state = OffloadState::new(config, &plan, tree);
+    state.partition_and_offload(cst, order, &partition_config);
     // Partition time excludes the inline (emulated) kernel execution.
-    let partition_time = partition_start.elapsed().saturating_sub(kernel_wall);
+    let partition_time = partition_start.elapsed().saturating_sub(state.kernel_wall);
+
+    // Modelled host times: construction touches every index entry once.
+    let modeled_build_sec = cpu_cost.index_time_sec(build_entries);
+    finish_report(
+        q,
+        config,
+        order,
+        state,
+        &cpu_cost,
+        HostTimes {
+            host_threads: 1,
+            pipeline_shards: 1,
+            build_time,
+            build_cpu_time: build_time,
+            partition_time,
+            host_prepare_wall: build_time + partition_time,
+            first_offload_wall: build_time,
+            modeled_build_sec,
+            modeled_build_parallel_sec: modeled_build_sec,
+            modeled_fill_sec: modeled_build_sec,
+        },
+        wall_start,
+    )
+}
+
+/// Runs the sharded, overlapped flow: shard CSTs built on worker threads
+/// stream through the partitioner (in shard order — deterministic for any
+/// thread count) while later shards are still being built.
+fn run_fast_pipelined(
+    q: &QueryGraph,
+    g: &Graph,
+    config: &FastConfig,
+    tree: &BfsTree,
+    order: &MatchingOrder,
+) -> Result<FastReport, FastError> {
+    let wall_start = Instant::now();
+    let cpu_cost = CpuCostModel::default();
+    let plan = KernelPlan::new(q, order, tree)?;
+    let pipe_opts = config.pipeline_options();
+
+    let mut state = OffloadState::new(config, &plan, tree);
+    let mut partition_cpu = Duration::ZERO;
+    let prepare_start = state.prepare_start;
+    // Split the borrow: the closure must not capture `state` whole.
+    let state_ref = &mut state;
+    let pipe_stats = for_each_shard_cst(q, g, tree, &pipe_opts, |shard| {
+        if shard.cst.any_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let kernel_before = state_ref.kernel_wall;
+        // Thresholds derive from each shard's own payload share — the only
+        // CST-dependent input — so they too are thread-count independent.
+        let partition_config = config.partition_config(q.vertex_count(), &shard.cst);
+        state_ref.partition_and_offload(&shard.cst, order, &partition_config);
+        partition_cpu +=
+            t0.elapsed().saturating_sub(state_ref.kernel_wall - kernel_before);
+    });
+    let host_prepare_wall = prepare_start.elapsed().saturating_sub(state.kernel_wall);
+    let first_offload_wall = state.first_offload.unwrap_or(pipe_stats.build_wall);
+
+    // Modelled build: the pipeline's *total* work (sharding duplicates
+    // interior candidates, honestly charged), divided over effective
+    // threads for the elapsed model.
+    let modeled_build_sec = cpu_cost.index_time_sec(pipe_stats.total_adjacency_entries());
+    let effective = (pipe_stats.threads as f64 * cpu_cost.parallel_efficiency).max(1.0);
+    let modeled_build_parallel_sec = modeled_build_sec / effective;
+    let modeled_fill_sec = modeled_build_parallel_sec / pipe_stats.shards.max(1) as f64;
+
+    finish_report(
+        q,
+        config,
+        order,
+        state,
+        &cpu_cost,
+        HostTimes {
+            host_threads: pipe_stats.threads,
+            pipeline_shards: pipe_stats.shards,
+            build_time: pipe_stats.build_wall,
+            build_cpu_time: pipe_stats.build_cpu,
+            partition_time: partition_cpu,
+            host_prepare_wall,
+            first_offload_wall,
+            modeled_build_sec,
+            modeled_build_parallel_sec,
+            modeled_fill_sec,
+        },
+        wall_start,
+    )
+}
+
+/// Host-side timing summary handed to the report assembler.
+struct HostTimes {
+    host_threads: usize,
+    pipeline_shards: usize,
+    build_time: Duration,
+    build_cpu_time: Duration,
+    partition_time: Duration,
+    host_prepare_wall: Duration,
+    first_offload_wall: Duration,
+    modeled_build_sec: f64,
+    modeled_build_parallel_sec: f64,
+    modeled_fill_sec: f64,
+}
+
+/// Runs the CPU share, aggregates kernel outputs, and assembles the report.
+fn finish_report(
+    q: &QueryGraph,
+    config: &FastConfig,
+    order: &MatchingOrder,
+    state: OffloadState<'_>,
+    cpu_cost: &CpuCostModel,
+    times: HostTimes,
+    wall_start: Instant,
+) -> Result<FastReport, FastError> {
+    let OffloadState {
+        scheduler,
+        cpu_queue,
+        fpga_outputs,
+        transfer_bytes,
+        cst_bytes_total,
+        stolen,
+        stolen_entries,
+        forced,
+        ..
+    } = state;
 
     // --- Host: CPU share matching (Fig. 2 step 5). ---
     let cpu_match_start = Instant::now();
@@ -281,10 +488,11 @@ fn run_fast_with_prepared(
     let cpu_match_time = cpu_match_start.elapsed();
     // The host's matching share runs on all cores (the paper's 8-core Xeon
     // is idle once partitioning finishes); apply the parallel model.
-    let host_threads = 8.0 * cpu_cost.parallel_efficiency;
-    let modeled_cpu_match_sec = cpu_share_ns * 1e-9 / host_threads;
+    let host_cores = 8.0 * cpu_cost.parallel_efficiency;
+    let modeled_cpu_match_sec = cpu_share_ns * 1e-9 / host_cores;
 
     // --- Aggregate kernel outputs and model device time. ---
+    let model = config.cycle_model();
     let mut counts = WorkloadCounts::default();
     let mut embeddings = cpu_embeddings;
     let mut collected = Vec::new();
@@ -319,15 +527,12 @@ fn run_fast_with_prepared(
         + config.spec.pcie.transfer_time_sec(transfer_bytes)
         + config.spec.pcie.transfer_time_sec(result_bytes.min(transfer_bytes.max(1 << 20)));
 
-    // Modelled host times: construction touches every index entry once;
-    // partitioning touches every emitted partition's entries (rebuild) plus
-    // roughly the same again across recursion levels.
-    let modeled_build_sec = cpu_cost.index_time_sec(build_entries);
-    // Stolen CSTs were consumed before splitting — that is exactly the
-    // partition cost FAST-SHARE saves (Section VII-B).
+    // Modelled partitioning: every emitted partition's entries (rebuild)
+    // plus roughly the same again across recursion levels. Stolen CSTs were
+    // consumed before splitting — that is exactly the partition cost
+    // FAST-SHARE saves (Section VII-B).
     let cpu_entries: usize = cpu_queue.iter().map(Cst::total_adjacency_entries).sum();
-    let partition_entries =
-        cst_bytes_total / 4 + cpu_entries.saturating_sub(stolen_entries);
+    let partition_entries = cst_bytes_total / 4 + cpu_entries.saturating_sub(stolen_entries);
     let modeled_partition_sec = cpu_cost.partition_time_sec(2 * partition_entries);
 
     Ok(FastReport {
@@ -338,13 +543,20 @@ fn run_fast_with_prepared(
         fpga_partitions: fpga_outputs.len(),
         cpu_partitions: cpu_queue.len(),
         stolen,
-        forced: stats.forced,
+        forced,
         workload_cpu: scheduler.cpu_workload(),
         workload_fpga: scheduler.fpga_workload(),
-        build_time,
-        partition_time,
+        host_threads: times.host_threads,
+        pipeline_shards: times.pipeline_shards,
+        build_time: times.build_time,
+        build_cpu_time: times.build_cpu_time,
+        partition_time: times.partition_time,
         cpu_match_time,
-        modeled_build_sec,
+        host_prepare_wall: times.host_prepare_wall,
+        first_offload_wall: times.first_offload_wall,
+        modeled_build_sec: times.modeled_build_sec,
+        modeled_build_parallel_sec: times.modeled_build_parallel_sec,
+        modeled_fill_sec: times.modeled_fill_sec,
         modeled_partition_sec,
         modeled_cpu_match_sec,
         kernel_cycles,
@@ -395,6 +607,37 @@ mod tests {
                     "{variant} disagrees with VF2 on q{qi}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pipelined_host_agrees_with_sequential_for_all_thread_counts() {
+        for (qi, q) in queries().into_iter().enumerate() {
+            let g = random_labelled_graph(60, 0.2, 3, 700 + qi as u64);
+            let sequential = run_fast(&q, &g, &FastConfig::test_small(Variant::Share)).unwrap();
+            let mut per_thread = Vec::new();
+            for threads in [2, 4, 8] {
+                let mut config = FastConfig::test_small(Variant::Share);
+                config.host_threads = threads;
+                config.pipeline_shards = Some(4);
+                let report = run_fast(&q, &g, &config).unwrap();
+                assert_eq!(
+                    report.embeddings, sequential.embeddings,
+                    "threads={threads} q{qi}"
+                );
+                assert_eq!(report.pipeline_shards, 4);
+                per_thread.push((
+                    report.fpga_partitions,
+                    report.cpu_partitions,
+                    report.stolen,
+                    report.transfer_bytes,
+                    report.kernel_cycles,
+                ));
+            }
+            // Everything downstream of the shard stream is deterministic in
+            // the thread count (same shard count ⇒ same partition sequence,
+            // same scheduler bookings, same kernel work).
+            assert!(per_thread.windows(2).all(|w| w[0] == w[1]), "q{qi}: {per_thread:?}");
         }
     }
 
@@ -462,6 +705,37 @@ mod tests {
         assert!(report.kernel_time_sec >= 0.0);
         assert!(report.transfer_time_sec > 0.0);
         assert!(report.modeled_build_sec > 0.0);
+        // Sequential flow: the general fields degenerate to the old model.
+        assert_eq!(report.host_threads, 1);
+        assert_eq!(report.pipeline_shards, 1);
+        assert_eq!(report.modeled_fill_sec, report.modeled_build_sec);
+        assert_eq!(report.build_cpu_time, report.build_time);
+    }
+
+    #[test]
+    fn overlapped_model_never_exceeds_serial_sum() {
+        // The overlapped elapsed time is bounded above by the serial sum of
+        // its phases and below by the slowest single phase.
+        let q = queries().remove(2);
+        let g = random_labelled_graph(70, 0.2, 2, 505);
+        let mut config = FastConfig::test_small(Variant::Sep);
+        config.host_threads = 4;
+        config.pipeline_shards = Some(8);
+        let r = run_fast(&q, &g, &config).unwrap();
+        let serial_sum = r.modeled_build_parallel_sec
+            + r.modeled_partition_sec
+            + r.modeled_cpu_match_sec
+            + r.transfer_time_sec
+            + r.kernel_time_sec;
+        let total = r.modeled_total_sec();
+        assert!(total <= serial_sum + 1e-12, "{total} > {serial_sum}");
+        for floor in [
+            r.modeled_fill_sec,
+            r.modeled_partition_sec,
+            r.kernel_time_sec,
+        ] {
+            assert!(total >= floor - 1e-12, "{total} < {floor}");
+        }
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! only while `(W_C + W_CST) < δ · (W_C + W_F + W_CST)` — keeping the CPU's
 //! share of total estimated work below `δ` (the paper finds `δ ≈ 0.1` best,
 //! with the CPU becoming the bottleneck past ~0.15, Fig. 13).
+//!
+//! The decision is *stream-order dependent*: assignments depend on the
+//! workloads booked so far. The sharded host pipeline therefore consumes
+//! shard CSTs strictly in shard order (`cst::pipeline` docs), so the
+//! booking sequence — and with it every count in the report — is identical
+//! for every thread count.
 
 /// Where a CST partition is processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

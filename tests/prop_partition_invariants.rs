@@ -51,6 +51,7 @@ proptest! {
         let config = PartitionConfig {
             delta_s: cst.size_bytes() / size_divisor + 64,
             delta_d: u32::MAX,
+            footprint_budget: None,
             fixed_k,
             max_partitions: 1 << 16,
         };
@@ -77,6 +78,7 @@ proptest! {
         let config = PartitionConfig {
             delta_s: cst.size_bytes() / size_divisor + 64,
             delta_d: u32::MAX,
+            footprint_budget: None,
             fixed_k: None,
             max_partitions: 1 << 16,
         };
@@ -106,6 +108,7 @@ proptest! {
         let config = PartitionConfig {
             delta_s: usize::MAX,
             delta_d: d / 2,
+            footprint_budget: None,
             fixed_k: None,
             max_partitions: 1 << 16,
         };

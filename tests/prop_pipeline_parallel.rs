@@ -1,0 +1,211 @@
+//! Property-based tests of the sharded parallel CST pipeline
+//! (`cst::pipeline`): for arbitrary graphs and queries, the pipeline's
+//! output is **identical for every thread count** at a fixed shard count,
+//! and its embedding counts are identical to the sequential pipeline for
+//! every shard count — the correctness bar of the overlapped host path.
+
+use cst::{
+    build_cst, build_cst_sharded, count_embeddings, for_each_shard_cst, CstOptions,
+    PipelineOptions,
+};
+use fast::{run_fast, FastConfig, Variant};
+use graph_core::generators::random_labelled_graph;
+use graph_core::{BfsTree, Label, MatchingOrder, QueryGraph, QueryVertexId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_query() -> impl Strategy<Value = QueryGraph> {
+    (3usize..=5, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<Label> = (0..n).map(|_| Label::new(rng.gen_range(0..2))).collect();
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push((rng.gen_range(0..i), i));
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(0.3) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        QueryGraph::new(labels, &edges).expect("connected by construction")
+    })
+}
+
+/// Structural equality of two CSTs: same candidate sets and same adjacency
+/// lists for every directed query edge.
+fn csts_identical(a: &cst::Cst, b: &cst::Cst) -> bool {
+    if a.query_vertex_count() != b.query_vertex_count() {
+        return false;
+    }
+    for u in 0..a.query_vertex_count() {
+        let qu = QueryVertexId::from_index(u);
+        if a.candidates(qu) != b.candidates(qu) {
+            return false;
+        }
+    }
+    let edges_a: Vec<_> = a.directed_edges().collect();
+    let edges_b: Vec<_> = b.directed_edges().collect();
+    if edges_a != edges_b {
+        return false;
+    }
+    for &(x, y) in &edges_a {
+        let aa = a.adjacency(x, y);
+        let bb = b.adjacency(x, y);
+        if aa.offsets != bb.offsets || aa.targets != bb.targets {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    /// The merged CST is bit-identical across thread counts {1, 2, 4, 8}
+    /// at a fixed shard count, and its embedding count matches the
+    /// sequential build for every shard count.
+    #[test]
+    fn thread_count_never_changes_the_output(
+        q in arb_query(),
+        graph_seed in 0u64..300,
+        shards in 1usize..12,
+    ) {
+        let g = random_labelled_graph(45, 0.15, 2, graph_seed);
+        let root = QueryVertexId::new(0);
+        let tree = BfsTree::new(&q, root);
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).expect("bfs");
+        let sequential = build_cst(&q, &g, &tree);
+        let whole = count_embeddings(&sequential, &q, &order);
+
+        let mut reference: Option<cst::Cst> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let opts = PipelineOptions {
+                threads,
+                shards: Some(shards),
+                cst: CstOptions::default(),
+            };
+            let (merged, stats) = build_cst_sharded(&q, &g, &tree, &opts);
+            prop_assert!(merged.validate(&q).is_ok());
+            prop_assert_eq!(
+                count_embeddings(&merged, &q, &order),
+                whole,
+                "threads {} shards {}",
+                threads,
+                shards
+            );
+            prop_assert_eq!(stats.shards, shards.min(stats.root_candidates.max(1)));
+            match &reference {
+                None => reference = Some(merged),
+                Some(r) => prop_assert!(
+                    csts_identical(r, &merged),
+                    "threads {} produced a different CST",
+                    threads
+                ),
+            }
+        }
+        // One shard reproduces the sequential CST exactly (not just its
+        // counts).
+        let opts = PipelineOptions {
+            threads: 4,
+            shards: Some(1),
+            cst: CstOptions::default(),
+        };
+        let (single, _) = build_cst_sharded(&q, &g, &tree, &opts);
+        prop_assert!(csts_identical(&sequential, &single));
+    }
+
+    /// The full pipelined host driver (partition → schedule → kernel/CPU
+    /// share) reports identical embeddings and identical downstream counts
+    /// for every thread count.
+    #[test]
+    fn pipelined_host_is_thread_count_invariant(
+        graph_seed in 0u64..200,
+        shards in 2usize..8,
+    ) {
+        let q = QueryGraph::new(
+            vec![Label::new(0), Label::new(1), Label::new(1)],
+            &[(0, 1), (1, 2), (0, 2)],
+        ).expect("triangle");
+        let g = random_labelled_graph(50, 0.2, 2, graph_seed);
+        let sequential = run_fast(&q, &g, &FastConfig::test_small(Variant::Share)).expect("run");
+        let mut fingerprints = Vec::new();
+        for threads in [2usize, 4] {
+            let mut config = FastConfig::test_small(Variant::Share);
+            config.host_threads = threads;
+            config.pipeline_shards = Some(shards);
+            let r = run_fast(&q, &g, &config).expect("run");
+            prop_assert_eq!(r.embeddings, sequential.embeddings, "threads {}", threads);
+            fingerprints.push((
+                r.fpga_partitions,
+                r.cpu_partitions,
+                r.stolen,
+                r.transfer_bytes,
+                r.kernel_cycles,
+                r.counts.n,
+                r.counts.m,
+            ));
+        }
+        prop_assert_eq!(fingerprints[0], fingerprints[1]);
+    }
+}
+
+/// A query whose label exists nowhere in the graph: the root candidate set
+/// is empty, every shard is empty, and the pipeline reports zero work.
+#[test]
+fn empty_root_candidate_set() {
+    let q = QueryGraph::new(vec![Label::new(9), Label::new(1)], &[(0, 1)]).unwrap();
+    let g = random_labelled_graph(30, 0.3, 2, 11);
+    let tree = BfsTree::new(&q, QueryVertexId::new(0));
+    let opts = PipelineOptions {
+        threads: 4,
+        shards: Some(8),
+        cst: CstOptions::default(),
+    };
+    let mut seen = 0usize;
+    let stats = for_each_shard_cst(&q, &g, &tree, &opts, |s| {
+        seen += 1;
+        assert!(s.cst.any_empty());
+    });
+    assert_eq!(stats.root_candidates, 0);
+    assert_eq!(stats.shards, 1, "zero roots collapse to one (empty) shard");
+    assert_eq!(seen, 1);
+    let (merged, _) = build_cst_sharded(&q, &g, &tree, &opts);
+    assert!(merged.any_empty());
+}
+
+/// More shards than root candidates: every shard holds at most one root
+/// (singleton shards), and the output still matches the sequential count.
+#[test]
+fn singleton_root_shards() {
+    let q = QueryGraph::new(
+        vec![Label::new(0), Label::new(1), Label::new(1)],
+        &[(0, 1), (1, 2), (0, 2)],
+    )
+    .unwrap();
+    let g = random_labelled_graph(25, 0.3, 2, 13);
+    let tree = BfsTree::new(&q, QueryVertexId::new(0));
+    let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).unwrap();
+    let sequential = build_cst(&q, &g, &tree);
+    let whole = count_embeddings(&sequential, &q, &order);
+    let roots = cst::root_candidates(&q, &g, &tree, CstOptions::default()).len();
+    assert!(roots >= 1, "test graph must have root candidates");
+
+    let opts = PipelineOptions {
+        threads: 4,
+        shards: Some(roots * 3), // force the clamp to one root per shard
+        cst: CstOptions::default(),
+    };
+    let mut sum = 0u64;
+    let stats = for_each_shard_cst(&q, &g, &tree, &opts, |s| {
+        assert_eq!(s.report.roots, 1);
+        sum += count_embeddings(&s.cst, &q, &order);
+    });
+    assert_eq!(stats.shards, roots);
+    assert_eq!(sum, whole);
+    let (merged, _) = build_cst_sharded(&q, &g, &tree, &opts);
+    assert_eq!(count_embeddings(&merged, &q, &order), whole);
+}
