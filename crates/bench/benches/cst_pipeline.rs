@@ -80,6 +80,7 @@ fn bench_sharded_build(c: &mut Criterion) {
             threads,
             shards: Some(16),
             cst: CstOptions::default(),
+            ..PipelineOptions::default()
         };
         group.bench_with_input(
             BenchmarkId::new("sharded16", format!("t{threads}")),

@@ -5,7 +5,7 @@
 //!
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
-//!        | hostscale
+//!        | hostscale | shardplan
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -28,7 +28,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan"
                 );
                 std::process::exit(0);
             }
@@ -142,6 +142,15 @@ fn main() {
         // bundled dataset (DG60); quick mode stays at DG03.
         let rows = host_scaling::run(&mut cache, huge, &host_scaling::QUERIES);
         println!("{}", host_scaling::render(huge, &rows));
+    }
+    if wants("shardplan") {
+        // Duplication factors per shard planner (EXPERIMENTS.md §13); the
+        // full query set — the planners exist for the hub-dominated
+        // queries the hostscale sweep has to exclude.
+        let queries: Vec<usize> = (0..9).collect();
+        let d = if opts.quick { DatasetId::Dg03 } else { huge };
+        let rows = shard_planning::run(&mut cache, d, &queries);
+        println!("{}", shard_planning::render(d, &rows));
     }
     if wants("ablation") {
         let d = DatasetId::Dg01;

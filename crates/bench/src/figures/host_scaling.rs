@@ -4,38 +4,48 @@
 //! the CPU builds and partitions the CST, and the `probe` time split shows
 //! those phases dominating host time at DG10. This figure sweeps the
 //! `host_threads` knob of the sharded pipeline (`cst::pipeline`,
-//! `FastConfig::host_threads`) at a fixed thread-independent shard count
-//! and reports the host preparation time.
+//! `FastConfig::host_threads`) — under both the blind contiguous shard
+//! planner and the workload-aware `Auto` planner (`cst::planner`) — and
+//! reports the host preparation time.
 //!
 //! Two numbers per point, per the repo's measurement policy (DESIGN.md §6):
 //!
 //! * **modelled prepare** — the overlapped host model on the paper's
 //!   8-core Xeon (`fill + max(build_par − fill, partition)`; see
 //!   `fast::host` docs). This is the figure's scaling metric: its work
-//!   terms are thread-count independent (fixed shards), so it isolates the
-//!   parallelisation effect from machine noise and core count.
+//!   terms are thread-count independent (the shard plan never depends on
+//!   the thread count), so it isolates the parallelisation effect from
+//!   machine noise and core count.
 //! * **measured build wall** — the real wall clock of the build phase on
 //!   *this* machine, reported for honesty: on a single-core CI container
 //!   threads time-share and the wall cannot improve.
 //!
 //! Embedding counts are asserted identical to the sequential pipeline at
-//! every thread count (the pipeline's correctness bar).
+//! every thread count and planner (the pipeline's correctness bar), and
+//! the `Auto` planner's modelled prepare is asserted ≤ the contiguous
+//! planner's **per query** — the planner must not regress the flat
+//! queries that already scale.
 
 use crate::harness::{experiment_config, DatasetCache};
-use fast::{FastReport, Variant};
+use fast::{FastReport, ShardPlanner, Variant};
 use graph_core::{benchmark_query, DatasetId};
+use std::collections::HashMap;
 
-/// One (dataset, thread-count) point, aggregated over the query set.
+/// One (planner, thread-count) point, aggregated over the query set.
 #[derive(Debug, Clone)]
 pub struct Row {
     pub dataset: DatasetId,
+    pub planner: ShardPlanner,
     pub threads: usize,
-    /// Shard count (fixed across thread counts; 1 for the sequential row).
-    pub shards: usize,
+    /// Shard counts over the query set: fixed (16) for contiguous rows,
+    /// the planner's per-query choices for auto rows.
+    pub shards: String,
     /// Total embeddings over the query set — identical across rows.
     pub embeddings: u64,
     /// Modelled overlapped host preparation seconds (build ∥ partition).
     pub modeled_prepare_sec: f64,
+    /// Modelled shard-planning seconds (probe; outside the prepare model).
+    pub modeled_plan_sec: f64,
     /// Modelled end-to-end elapsed seconds.
     pub modeled_total_sec: f64,
     /// Measured wall seconds of the build phase on this machine.
@@ -47,19 +57,22 @@ pub struct Row {
 /// Thread counts swept (the paper's host is an 8-core Xeon).
 pub const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-/// Shard count for the parallel rows. Fixed — never derived from the
+/// Planners swept: the blind baseline and the workload-aware auto planner.
+pub const PLANNERS: [ShardPlanner; 2] = [ShardPlanner::Contiguous, ShardPlanner::Auto];
+
+/// Shard count for the contiguous parallel rows (the auto planner picks
+/// per query, capped at the default 16). Fixed — never derived from the
 /// thread count — so every parallel row partitions the identical shard
 /// stream; see `cst::pipeline` on determinism.
 pub const SHARDS: usize = 16;
 
 /// Queries aggregated over: the root-shardable subset of the benchmark
-/// queries. Root sharding duplicates interior candidates reachable from
-/// several shards; for hub-dominated queries (q1, q2, q3, q8) the
-/// duplication factor reaches 2.7–4.6× at 16 shards — the same
-/// skew/overlap effect the paper's Fig. 14 commentary notes for the
-/// root-sharded DAF-8/CECI-8 baselines — while for these five the
-/// per-shard bottom-up refinement prunes so much that total work *drops*
-/// (duplication factors 0.2–1.3×). EXPERIMENTS.md records the full table.
+/// queries. Under the blind contiguous planner, root sharding duplicates
+/// interior candidates 2.7–4.6× on the hub-dominated queries (q1, q2, q3,
+/// q8 — the same skew/overlap effect the paper's Fig. 14 commentary notes
+/// for the root-sharded DAF-8/CECI-8 baselines), so this figure sticks to
+/// the queries where sharding already pays; the `shardplan` figure covers
+/// the full set per planner. EXPERIMENTS.md records both tables.
 pub const QUERIES: [usize; 5] = [0, 4, 5, 6, 7];
 
 /// The modelled host-preparation time of a report: the part of the
@@ -69,51 +82,81 @@ pub fn modeled_prepare_sec(r: &FastReport) -> f64 {
         + (r.modeled_build_parallel_sec - r.modeled_fill_sec).max(r.modeled_partition_sec)
 }
 
-/// Runs the thread sweep on `dataset` over `queries`.
+/// Runs the planner × thread sweep on `dataset` over `queries`.
 ///
 /// # Panics
-/// Panics if any thread count changes the embedding count — the pipeline's
-/// correctness bar is bit-identical results for every `host_threads`.
+/// Panics if any (planner, thread count) changes the embedding count, or
+/// if the auto planner's modelled prepare exceeds the contiguous
+/// planner's on any query at any thread count.
 pub fn run(cache: &mut DatasetCache, dataset: DatasetId, queries: &[usize]) -> Vec<Row> {
     let g = cache.get(dataset);
     let mut rows = Vec::new();
-    for &threads in &THREADS {
-        let mut config = experiment_config(Variant::Sep);
-        config.host_threads = threads;
-        config.pipeline_shards = Some(SHARDS);
-        let mut embeddings = 0u64;
-        let mut prepare = 0.0f64;
-        let mut total = 0.0f64;
-        let mut build_wall = 0.0f64;
-        let mut build_cpu = 0.0f64;
-        let mut shards = 1usize;
-        for &qi in queries {
-            let q = benchmark_query(qi);
-            let report = fast::run_fast(&q, g, &config).unwrap();
-            embeddings += report.embeddings;
-            prepare += modeled_prepare_sec(&report);
-            total += report.modeled_total_sec();
-            build_wall += report.build_time.as_secs_f64();
-            build_cpu += report.build_cpu_time.as_secs_f64();
-            shards = report.pipeline_shards;
+    // Per-query contiguous prepare, keyed by (threads, query) — the
+    // no-regression bar for the auto rows.
+    let mut contiguous_prepare: HashMap<(usize, usize), f64> = HashMap::new();
+    for &planner in &PLANNERS {
+        for &threads in &THREADS {
+            let mut config = experiment_config(Variant::Sep);
+            config.host_threads = threads;
+            config.pipeline_shards = Some(SHARDS);
+            config.shard_planner = planner;
+            let mut embeddings = 0u64;
+            let mut prepare = 0.0f64;
+            let mut plan = 0.0f64;
+            let mut total = 0.0f64;
+            let mut build_wall = 0.0f64;
+            let mut build_cpu = 0.0f64;
+            let mut shards: Vec<usize> = Vec::new();
+            for &qi in queries {
+                let q = benchmark_query(qi);
+                let report = fast::run_fast(&q, g, &config).unwrap();
+                let q_prepare = modeled_prepare_sec(&report);
+                match planner {
+                    ShardPlanner::Contiguous => {
+                        contiguous_prepare.insert((threads, qi), q_prepare);
+                    }
+                    _ => {
+                        let bar = contiguous_prepare[&(threads, qi)];
+                        assert!(
+                            q_prepare <= bar + 1e-12,
+                            "{planner} regressed q{qi} at {threads} threads: \
+                             {q_prepare:.6}s > contiguous {bar:.6}s"
+                        );
+                    }
+                }
+                embeddings += report.embeddings;
+                prepare += q_prepare;
+                plan += report.modeled_plan_sec;
+                total += report.modeled_total_sec();
+                build_wall += report.build_time.as_secs_f64();
+                build_cpu += report.build_cpu_time.as_secs_f64();
+                shards.push(report.pipeline_shards);
+            }
+            if let Some(first) = rows.first() {
+                let first: &Row = first;
+                assert_eq!(
+                    embeddings, first.embeddings,
+                    "{planner}/{threads} threads changed the embedding count"
+                );
+            }
+            shards.dedup();
+            rows.push(Row {
+                dataset,
+                planner,
+                threads,
+                shards: shards
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                embeddings,
+                modeled_prepare_sec: prepare,
+                modeled_plan_sec: plan,
+                modeled_total_sec: total,
+                build_wall_sec: build_wall,
+                build_cpu_sec: build_cpu,
+            });
         }
-        if let Some(first) = rows.first() {
-            let first: &Row = first;
-            assert_eq!(
-                embeddings, first.embeddings,
-                "threads={threads} changed the embedding count"
-            );
-        }
-        rows.push(Row {
-            dataset,
-            threads,
-            shards,
-            embeddings,
-            modeled_prepare_sec: prepare,
-            modeled_total_sec: total,
-            build_wall_sec: build_wall,
-            build_cpu_sec: build_cpu,
-        });
     }
     rows
 }
@@ -125,24 +168,31 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
         .find(|r| r.threads == 1)
         .map(|r| r.modeled_prepare_sec)
         .unwrap_or(0.0);
-    let header = vec![
-        "threads".to_string(),
-        "shards".to_string(),
-        "modelled prepare".to_string(),
-        "speedup".to_string(),
-        "modelled total".to_string(),
-        "build wall (this host)".to_string(),
-        "build cpu".to_string(),
-        "#embeddings".to_string(),
-    ];
+    let header: Vec<String> = [
+        "planner",
+        "threads",
+        "shards",
+        "modelled prepare",
+        "speedup",
+        "plan",
+        "modelled total",
+        "build wall (this host)",
+        "build cpu",
+        "#embeddings",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
+                r.planner.to_string(),
                 r.threads.to_string(),
-                r.shards.to_string(),
+                r.shards.clone(),
                 crate::harness::fmt_time(r.modeled_prepare_sec),
                 crate::harness::fmt_speedup(base / r.modeled_prepare_sec),
+                crate::harness::fmt_time(r.modeled_plan_sec),
                 crate::harness::fmt_time(r.modeled_total_sec),
                 crate::harness::fmt_time(r.build_wall_sec),
                 crate::harness::fmt_time(r.build_cpu_sec),
@@ -151,7 +201,7 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
         })
         .collect();
     format!(
-        "Host-pipeline scaling on {dataset} (sharded CST build + partition, {} shards)\n{}",
+        "Host-pipeline scaling on {dataset} (sharded CST build + partition, contiguous {} shards vs auto-planned)\n{}",
         SHARDS,
         crate::harness::render_table(&header, &body)
     )
@@ -165,18 +215,22 @@ mod tests {
     fn counts_identical_and_modeled_prepare_monotone() {
         let mut cache = DatasetCache::new();
         let rows = run(&mut cache, DatasetId::Dg01, &[0, 6]);
-        assert_eq!(rows.len(), THREADS.len());
-        // `run` itself asserts count identity; monotone non-increasing
-        // modelled prepare time is the scaling claim.
-        for w in rows.windows(2) {
-            assert!(
-                w[1].modeled_prepare_sec <= w[0].modeled_prepare_sec + 1e-12,
-                "threads {}→{}: {} → {}",
-                w[0].threads,
-                w[1].threads,
-                w[0].modeled_prepare_sec,
-                w[1].modeled_prepare_sec
-            );
+        assert_eq!(rows.len(), PLANNERS.len() * THREADS.len());
+        // `run` itself asserts count identity and the per-query
+        // auto ≤ contiguous bar; monotone non-increasing modelled prepare
+        // over threads (per planner) is the scaling claim.
+        for planner_rows in rows.chunks(THREADS.len()) {
+            for w in planner_rows.windows(2) {
+                assert!(
+                    w[1].modeled_prepare_sec <= w[0].modeled_prepare_sec + 1e-12,
+                    "{} threads {}→{}: {} → {}",
+                    w[0].planner,
+                    w[0].threads,
+                    w[1].threads,
+                    w[0].modeled_prepare_sec,
+                    w[1].modeled_prepare_sec
+                );
+            }
         }
     }
 }

@@ -12,4 +12,5 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod host_scaling;
+pub mod shard_planning;
 pub mod table3;

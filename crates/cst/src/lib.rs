@@ -16,13 +16,18 @@
 //! * [`pipeline`] — the sharded, multi-threaded host pipeline: shard CSTs
 //!   built on worker threads and merged ([`build_cst_sharded`]) or streamed
 //!   in shard order into the partitioner ([`for_each_shard_cst`]) so device
-//!   offload overlaps construction.
+//!   offload overlaps construction;
+//! * [`planner`] — workload-aware shard planning for that pipeline:
+//!   workload-balanced boundary search, overlap-aware (hub-clustered)
+//!   decomposition, and per-query auto shard-count selection
+//!   ([`ShardPlanner`], [`ShardPlan`]).
 
 pub mod construct;
 pub mod enumerate;
 pub mod filter;
 pub mod partition;
 pub mod pipeline;
+pub mod planner;
 pub mod structure;
 pub mod workload;
 
@@ -41,6 +46,9 @@ pub use partition::{
 pub use pipeline::{
     build_cst_sharded, for_each_shard_cst, merge_shard_csts, PipelineOptions, PipelineStats,
     ShardCst, ShardReport, DEFAULT_SHARDS,
+};
+pub use planner::{
+    estimated_duplication, plan_shards, PlannerConfig, RootProfile, ShardPlan, ShardPlanner,
 };
 pub use structure::{CsrAdj, Cst};
 pub use workload::{estimate_workload, WorkloadEstimate};

@@ -5,9 +5,11 @@
 //! build + partition dominating host time at the larger datasets. This
 //! module parallelises and *overlaps* that host work:
 //!
-//! * the root candidate set is split into `shards` contiguous chunks — the
-//!   same axis the parallel baselines (`DAF-8`/`CECI-8`) and the multi-FPGA
-//!   extension shard on;
+//! * the root candidate set is split into `shards` chunks — the same axis
+//!   the parallel baselines (`DAF-8`/`CECI-8`) and the multi-FPGA
+//!   extension shard on; *where* the boundaries fall (and how many shards
+//!   a query gets) is decided by the shard planner (`cst::planner`,
+//!   [`PipelineOptions::planner`]) before any build starts;
 //! * worker threads ([`std::thread::scope`]) run the full Algorithm 1 per
 //!   shard (top-down construction seeded by the shard's roots, bottom-up
 //!   refinement, non-tree-edge population);
@@ -19,8 +21,8 @@
 //! # Determinism
 //!
 //! Every shard CST depends only on `(q, g, tree, options, shard index,
-//! shard count)` — never on thread scheduling — and shards are consumed in
-//! index order. The output (merged CST, shard stream, and everything
+//! shard plan)` — the plan itself is a pure function of everything but the
+//! thread count — and shards are consumed in index order. The output (merged CST, shard stream, and everything
 //! downstream: partition sequence, `ShareScheduler` bookings, embedding
 //! counts) is therefore **bit-identical for every thread count** at a fixed
 //! shard count. The default shard count is a thread-independent constant
@@ -37,6 +39,7 @@
 //! to the sequential pipeline's.
 
 use crate::construct::{build_cst_from_roots, root_candidates, BuildStats, CstOptions};
+use crate::planner::{plan_pipeline_shards, ShardPlan, ShardPlanner};
 use crate::structure::{CsrAdj, Cst};
 use crate::workload::estimate_workload;
 use graph_core::{BfsTree, Graph, QueryGraph, QueryVertexId, VertexId};
@@ -59,8 +62,14 @@ pub struct PipelineOptions {
     pub threads: usize,
     /// Shard (batch) count; `None` resolves to [`DEFAULT_SHARDS`]. Clamped
     /// to the root candidate count. Must not be derived from `threads` —
-    /// see the module docs on determinism.
+    /// see the module docs on determinism. Under [`ShardPlanner::Auto`]
+    /// this is the *cap*: the planner may choose fewer shards.
     pub shards: Option<usize>,
+    /// Shard-boundary planning policy (`cst::planner`). The plan is a pure
+    /// function of `(q, g, tree, cst, shards, planner)` — never of
+    /// `threads` — so every planner preserves the pipeline's thread-count
+    /// determinism.
+    pub planner: ShardPlanner,
     /// CST construction pruning strength, forwarded to Algorithm 1.
     pub cst: CstOptions,
 }
@@ -70,6 +79,7 @@ impl Default for PipelineOptions {
         PipelineOptions {
             threads: 1,
             shards: None,
+            planner: ShardPlanner::Contiguous,
             cst: CstOptions::default(),
         }
     }
@@ -81,6 +91,7 @@ impl PipelineOptions {
         PipelineOptions {
             threads: 1,
             shards: Some(1),
+            planner: ShardPlanner::Contiguous,
             cst,
         }
     }
@@ -110,8 +121,15 @@ pub struct ShardReport {
 /// Aggregate statistics of a sharded pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineStats {
-    /// Effective shard count after clamping.
+    /// Effective shard count after clamping (and planning, under the
+    /// [`ShardPlanner::Auto`] policy).
     pub shards: usize,
+    /// The shard plan the pipeline executed (planner, boundaries, planned
+    /// workloads, estimated duplication, probe work).
+    pub plan: ShardPlan,
+    /// Wall time spent planning (root probe + boundary search); zero for
+    /// the contiguous planner.
+    pub plan_time: Duration,
     /// Worker threads used.
     pub threads: usize,
     /// Total root candidates (over all shards).
@@ -183,12 +201,10 @@ fn build_shard(
     g: &Graph,
     tree: &BfsTree,
     options: CstOptions,
-    roots: &[VertexId],
-    range: std::ops::Range<usize>,
+    chunk: Vec<VertexId>,
     shard: usize,
 ) -> ShardCst {
     let t0 = Instant::now();
-    let chunk = roots[range.clone()].to_vec();
     let root_count = chunk.len();
     let (cst, stats) = build_cst_from_roots(q, g, tree, options, chunk);
     // Stop the clock before the workload DP: it is a skew diagnostic, not
@@ -224,11 +240,17 @@ pub fn for_each_shard_cst<F: FnMut(ShardCst)>(
     mut consume: F,
 ) -> PipelineStats {
     let roots = root_candidates(q, g, tree, options.cst);
-    let shards = options.resolve_shards(roots.len());
-    let ranges = shard_ranges(roots.len(), shards);
+    let plan_t0 = Instant::now();
+    let plan = plan_pipeline_shards(q, g, tree, options, &roots);
+    let plan_time = plan_t0.elapsed();
+    let shards = plan.shard_count();
+    // Chunk extraction is part of planning, not of any shard's build time.
+    let chunks: Vec<Vec<VertexId>> = (0..shards).map(|s| plan.chunk_roots(&roots, s)).collect();
     let wall0 = Instant::now();
     let mut stats = PipelineStats {
         shards,
+        plan,
+        plan_time,
         threads: options.threads.max(1).min(shards),
         root_candidates: roots.len(),
         shard_reports: Vec::with_capacity(shards),
@@ -243,8 +265,8 @@ pub fn for_each_shard_cst<F: FnMut(ShardCst)>(
     };
 
     if stats.threads <= 1 {
-        for (i, range) in ranges.into_iter().enumerate() {
-            let shard = build_shard(q, g, tree, options.cst, &roots, range, i);
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let shard = build_shard(q, g, tree, options.cst, chunk, i);
             stats.build_wall = wall0.elapsed();
             take(shard, &mut stats);
         }
@@ -256,8 +278,7 @@ pub fn for_each_shard_cst<F: FnMut(ShardCst)>(
     // partitioning of earlier shards must not count as build time.
     let build_done: Mutex<Duration> = Mutex::new(Duration::ZERO);
     let (tx, rx) = mpsc::channel::<ShardCst>();
-    let ranges_ref = &ranges;
-    let roots_ref = &roots;
+    let chunks_ref = &chunks;
     std::thread::scope(|scope| {
         for _ in 0..stats.threads {
             let tx = tx.clone();
@@ -266,18 +287,11 @@ pub fn for_each_shard_cst<F: FnMut(ShardCst)>(
             scope.spawn(move || {
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= ranges_ref.len() {
+                    if i >= chunks_ref.len() {
                         return;
                     }
-                    let shard = build_shard(
-                        q,
-                        g,
-                        tree,
-                        options.cst,
-                        roots_ref,
-                        ranges_ref[i].clone(),
-                        i,
-                    );
+                    let shard =
+                        build_shard(q, g, tree, options.cst, chunks_ref[i].clone(), i);
                     let done = wall0.elapsed();
                     let mut latest = build_done.lock().expect("timestamp lock");
                     if done > *latest {
@@ -363,20 +377,28 @@ where
         merged_candidates.push(all);
     }
 
-    // Shard-local index → merged index, per shard per query vertex.
+    // Shard-local index → merged index, per shard per query vertex. Both
+    // lists are sorted and the shard list is a subset of the merged one, so
+    // a single two-pointer merge resolves every index in O(k + n) instead
+    // of O(k log n) binary searches.
     let remap: Vec<Vec<Vec<u32>>> = shards
         .iter()
         .map(|s| {
             (0..n)
                 .map(|u| {
                     let qu = QueryVertexId::from_index(u);
+                    let merged = &merged_candidates[u];
+                    let mut j = 0usize;
                     s.candidates(qu)
                         .iter()
                         .map(|v| {
-                            merged_candidates[u]
-                                .binary_search(v)
-                                .expect("shard candidate must be in merged set")
-                                as u32
+                            while merged[j] < *v {
+                                j += 1;
+                            }
+                            debug_assert_eq!(merged[j], *v, "shard candidate in merged set");
+                            let out = j as u32;
+                            j += 1;
+                            out
                         })
                         .collect()
                 })
@@ -463,6 +485,7 @@ mod tests {
                 threads: 2,
                 shards: Some(shards),
                 cst: CstOptions::default(),
+                ..PipelineOptions::default()
             };
             let (merged, stats) = build_cst_sharded(&q, &g, &tree, &opts);
             merged.validate(&q).unwrap();
@@ -488,6 +511,7 @@ mod tests {
                 threads,
                 shards: Some(6),
                 cst: CstOptions::default(),
+                ..PipelineOptions::default()
             };
             let mut sum = 0u64;
             let mut seen = Vec::new();

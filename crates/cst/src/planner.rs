@@ -1,0 +1,1120 @@
+//! Workload-aware shard planning for the host CST pipeline.
+//!
+//! The pipeline's original sharding rule (`shard_ranges`) splits the root
+//! candidate list into contiguous *equal-count* chunks. EXPERIMENTS.md §13
+//! shows what that costs: interior candidates reachable from several shards
+//! are rebuilt per shard, and on hub-dominated queries the duplication
+//! factor reaches 2.7–4.6× at 16 shards — the host-side mirror of the
+//! substream-partitioning observation (how you cut the stream determines
+//! both balance and redundancy) and of the paper's Fig. 14 commentary on
+//! the root-sharded DAF-8/CECI-8 baselines.
+//!
+//! This module plans the shard decomposition instead of splitting blindly:
+//!
+//! 1. **Probe** ([`RootProfile::probe`]): one top-down pass of
+//!    Algorithm 1 (tree edges, no refinement) memoises the candidate
+//!    space as per-level CSR, computes exact per-root `W_CST` weights —
+//!    the planner's `WorkloadEstimate::per_root_candidate`, available
+//!    *before* any shard build — plus a stride-sampled count of the
+//!    non-tree candidate edges (where dense queries keep most of their
+//!    CST entries).
+//! 2. **Workload-balanced boundary search**
+//!    ([`ShardPlanner::WorkloadBalanced`]): boundaries placed by prefix
+//!    sums over the weights, so every shard carries ≈ `1/S` of the
+//!    estimated workload instead of `1/S` of the roots. If no weight
+//!    exceeds the mean shard workload, every planned shard is provably
+//!    within 2× of the mean (first-crossing rule; see
+//!    `balanced_boundaries`).
+//! 3. **Overlap-aware planning** ([`ShardPlanner::OverlapAware`]): roots
+//!    are re-ordered so that roots sharing their dominant hub neighbour
+//!    land in the same shard (hub-clustered order), boundaries are
+//!    workload-balanced over that order and locally refined to the cut
+//!    with the smallest shared 1-hop frontier between the adjacent
+//!    ranges. Candidate decompositions are scored by the **overlap cost
+//!    model** ([`estimated_duplication`]): a per-shard bitmask is
+//!    OR-propagated down the probed candidate space, and every
+//!    refinement-surviving candidate edge counts once per shard that
+//!    reaches both endpoints — the modelled total-entries-built over the
+//!    sequential build, accurate to a few percent on the benchmark
+//!    queries (EXPERIMENTS.md §13). Shard root sets are arbitrary subsets
+//!    (the pipeline's soundness argument only needs them disjoint and
+//!    complete), so the planner is free to permute.
+//! 4. **Auto shard-count selection** ([`ShardPlanner::Auto`]): candidate
+//!    shard counts are scored with the overlapped host model
+//!    (`fill + max(build_par − fill, partition)` plus a contention charge
+//!    for duplicated build work) using the plan's estimated duplication
+//!    ([`ShardPlan::estimated_duplication`]), so flat queries keep the
+//!    default shard count while hub-dominated ones drop to the count that
+//!    minimises modelled prepare time.
+//!
+//! # Determinism
+//!
+//! A plan is a pure function of `(q, g, tree, CstOptions, requested
+//! shards, planner)`. In particular [`PlannerConfig::reference_threads`]
+//! is a **constant**, never the pipeline's actual thread count: the shard
+//! decomposition — and everything downstream of it — must stay
+//! bit-identical for every thread count (see `cst::pipeline` module docs).
+
+use crate::construct::CstOptions;
+use crate::filter::CandidateFilter;
+use crate::pipeline::{shard_ranges, PipelineOptions};
+use graph_core::{BfsTree, Graph, QueryGraph, VertexId};
+use std::ops::Range;
+
+/// Shard-boundary planning policy of the host CST pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPlanner {
+    /// Contiguous equal-count chunks over the sorted root candidate list —
+    /// the original (blind) rule; zero planning cost.
+    #[default]
+    Contiguous,
+    /// Contiguous chunks balanced by the probed per-root workload weights.
+    WorkloadBalanced,
+    /// Hub-clustered root order, workload-balanced boundaries, each
+    /// boundary refined to the cut minimising the shared 1-hop frontier.
+    OverlapAware,
+    /// Per-query shard-count selection: scores candidate shard counts with
+    /// the overlapped host model and the plan's estimated duplication,
+    /// then plans overlap-aware boundaries at the winning count (falling
+    /// back to contiguous boundaries when the estimated duplication is
+    /// already negligible).
+    Auto,
+}
+
+impl std::fmt::Display for ShardPlanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ShardPlanner::Contiguous => "contiguous",
+            ShardPlanner::WorkloadBalanced => "balanced",
+            ShardPlanner::OverlapAware => "overlap",
+            ShardPlanner::Auto => "auto",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Constants of the planner's cost model. All values are deliberately
+/// thread-count independent (see the module docs on determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Reference host parallelism for the auto score — the paper's 8-core
+    /// Xeon. **Never** set this from the pipeline's actual thread count.
+    pub reference_threads: f64,
+    /// Parallel efficiency of the reference host (mirrors
+    /// `matching::CpuCostModel::parallel_efficiency`).
+    pub parallel_efficiency: f64,
+    /// Modelled partition-to-build work ratio ρ: the partition phase that
+    /// `fill + max(build_par − fill, partition)` overlaps against, in
+    /// units of the sequential build (calibrated from the `probe` split,
+    /// where partitioning is 1–2× the build on the larger datasets).
+    pub partition_build_ratio: f64,
+    /// Contention charge κ per unit of *duplicated* build work: duplicated
+    /// shard work executes on the same socket as the partition/offload
+    /// consumer, so it is charged at one reference-core's share.
+    pub duplication_charge: f64,
+    /// Boundary-refinement balance slack: a refined boundary may not push
+    /// an adjacent shard beyond `slack × mean` planned workload.
+    pub balance_slack: f64,
+    /// Auto keeps plain contiguous boundaries when the estimated
+    /// duplication at the chosen shard count stays below this threshold
+    /// (flat queries must not pay reordering churn for nothing).
+    pub overlap_fallback: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            reference_threads: 8.0,
+            parallel_efficiency: 0.75,
+            partition_build_ratio: 1.0,
+            // Duplicated build work competes with the overlapped
+            // partition/offload consumer for the socket's memory bandwidth,
+            // so it is charged near its full serial cost; 0.7 places the
+            // auto choices at the measured per-query optima of the DG03
+            // duplication table (EXPERIMENTS.md §13).
+            duplication_charge: 0.7,
+            balance_slack: 2.0,
+            overlap_fallback: 1.05,
+        }
+    }
+}
+
+/// One non-root query vertex's slice of the probed candidate space: the
+/// tree-edge adjacency from the parent's candidates to this vertex's, in
+/// CSR form over *candidate indices* (discovery order).
+#[derive(Debug, Clone)]
+struct ProbeLevel {
+    /// The query vertex this level belongs to (index into `q`).
+    vertex: usize,
+    /// The parent query vertex (index into `q`; the root included).
+    parent: usize,
+    /// Number of candidates discovered at this level.
+    count: usize,
+    /// `offsets[i]..offsets[i+1]` slices `targets` for the parent's `i`-th
+    /// candidate.
+    offsets: Vec<u32>,
+    /// Candidate indices at this level (not sorted — discovery order).
+    targets: Vec<u32>,
+}
+
+/// One non-tree query edge's sampled candidate edges: `(i, j)` pairs of
+/// candidate indices at the two endpoint levels, every `stride`-th edge of
+/// the scan kept.
+#[derive(Debug, Clone)]
+struct NonTreeSample {
+    /// Mask index of the first endpoint (0 = root, else level index + 1).
+    a_mask: usize,
+    /// Mask index of the second endpoint.
+    b_mask: usize,
+    /// Each kept pair stands for this many scanned candidate edges.
+    stride: usize,
+    pairs: Vec<(u32, u32)>,
+}
+
+/// Cap on kept pairs per non-tree edge; reaching it halves the sample and
+/// doubles the stride (deterministic — no RNG).
+const NONTREE_SAMPLE_CAP: usize = 1 << 18;
+
+/// Neighbour-visit budget of one non-tree edge's scan. Candidate sets
+/// whose degree sum exceeds it are source-sampled (every k-th candidate),
+/// so the probe's non-tree pass stays a bounded fraction of the build the
+/// plan is for.
+const NONTREE_SCAN_BUDGET: usize = 1 << 20;
+
+/// Per-root probe results: the unrefined tree-edge candidate space (one
+/// top-down pass of Algorithm 1, memoised as per-level CSR), per-root
+/// workload weights from the `W_CST` dynamic program over that space, and
+/// per-root dominant hubs for clustering.
+#[derive(Debug, Clone, Default)]
+pub struct RootProfile {
+    /// `W_CST` per root candidate over the probed (unrefined, tree-edge)
+    /// candidate space — the planner's incarnation of
+    /// `WorkloadEstimate::per_root_candidate`, computable before any shard
+    /// build starts.
+    pub weights: Vec<f64>,
+    /// Non-root levels in BFS order. The root's own level-1 adjacency is
+    /// the first entry whose `parent` is the root (the "CST root
+    /// adjacency" the boundary scores read).
+    levels: Vec<ProbeLevel>,
+    /// Index of the root query vertex.
+    root_vertex: usize,
+    /// Dominant hub per root: the root's level-1 candidate shared with the
+    /// most other roots (ties → smallest candidate index); `None` when the
+    /// root reaches nothing.
+    hubs: Vec<Option<u32>>,
+    /// Refinement survival per level (`[0]` = the root level, then in step
+    /// with `levels`): whether the candidate's DP subtree count is
+    /// non-zero — exactly the candidates one bottom-up refinement pass
+    /// keeps. Entry weights in the duplication estimate are restricted to
+    /// survivors, mirroring the sequential build the actual factors divide
+    /// by.
+    alive: Vec<Vec<bool>>,
+    /// Sampled non-tree candidate edges. Tree reachability alone misses
+    /// the entry mass of dense queries (a clique hanging off the tree
+    /// stores most of its CST in non-tree adjacency), so the probe counts
+    /// those edges too — stride-sampled with a deterministic cap.
+    nontree: Vec<NonTreeSample>,
+    /// `(vertex, filter)` evaluations of the probe pass — its work unit
+    /// for cost accounting.
+    pub probe_entries: usize,
+}
+
+impl RootProfile {
+    /// Runs the probe: phase 1 of Algorithm 1 (top-down construction, no
+    /// refinement, tree edges only), recording per-level candidate
+    /// adjacency. Every interior vertex is expanded exactly once — unlike
+    /// the shard builds whose duplication this estimates — so the cost is
+    /// one filtered scan of the tree-edge candidate space, a fraction of
+    /// the full build (which additionally refines and materialises
+    /// adjacency for *all* query edges in both directions).
+    pub fn probe(
+        q: &QueryGraph,
+        g: &Graph,
+        tree: &BfsTree,
+        options: CstOptions,
+        roots: &[VertexId],
+    ) -> RootProfile {
+        let root = tree.root();
+        let mut profile = RootProfile {
+            weights: vec![1.0; roots.len()],
+            levels: Vec::new(),
+            root_vertex: root.index(),
+            hubs: vec![None; roots.len()],
+            alive: Vec::new(),
+            nontree: Vec::new(),
+            probe_entries: 0,
+        };
+        let mut scratch = Vec::new();
+
+        // Candidate vertex lists per query vertex (root seeded by caller);
+        // `slot` maps data vertex → candidate index at the level currently
+        // being built (u32::MAX = absent), reset between levels.
+        let mut candidates: Vec<Vec<VertexId>> = vec![Vec::new(); q.vertex_count()];
+        candidates[root.index()] = roots.to_vec();
+        let mut slot = vec![u32::MAX; g.vertex_count()];
+
+        for &u in &tree.bfs_order()[1..] {
+            let parent = tree.parent(u).expect("non-root has a parent");
+            let filter = CandidateFilter::new(q, u);
+            let mut level = ProbeLevel {
+                vertex: u.index(),
+                parent: parent.index(),
+                count: 0,
+                offsets: Vec::with_capacity(candidates[parent.index()].len() + 1),
+                targets: Vec::new(),
+            };
+            level.offsets.push(0);
+            let mut discovered: Vec<VertexId> = Vec::new();
+            for vp in candidates[parent.index()].iter().copied() {
+                for &w in g.neighbors(vp) {
+                    profile.probe_entries += 1;
+                    let passes = if options.use_nlf {
+                        filter.passes(g, w, &mut scratch)
+                    } else {
+                        filter.passes_basic(g, w)
+                    };
+                    if !passes {
+                        continue;
+                    }
+                    let idx = if slot[w.index()] == u32::MAX {
+                        let idx = discovered.len() as u32;
+                        slot[w.index()] = idx;
+                        discovered.push(w);
+                        idx
+                    } else {
+                        slot[w.index()]
+                    };
+                    level.targets.push(idx);
+                }
+                level.offsets.push(level.targets.len() as u32);
+            }
+            for &w in &discovered {
+                slot[w.index()] = u32::MAX;
+            }
+            level.count = discovered.len();
+            candidates[u.index()] = discovered;
+            profile.levels.push(level);
+        }
+
+        // Sample the non-tree candidate edges: for every non-tree query
+        // edge, scan one endpoint's candidates against the other's
+        // membership, keeping every `stride`-th hit (stride doubles when
+        // the cap is reached — deterministic). This is a counting scan of
+        // the adjacency the build's phase 3 will materialise per shard;
+        // dense queries keep most of their CST entries here.
+        let mask_index = |v: usize| -> usize {
+            if v == root.index() {
+                0
+            } else {
+                1 + profile
+                    .levels
+                    .iter()
+                    .position(|l| l.vertex == v)
+                    .expect("every non-root query vertex has a probe level")
+            }
+        };
+        for &(a, b) in q.edges() {
+            if tree.is_tree_edge(a, b) {
+                continue;
+            }
+            let (ca, cb) = (&candidates[a.index()], &candidates[b.index()]);
+            // Scan the smaller candidate side.
+            let (u, w) = if ca.len() <= cb.len() { (a, b) } else { (b, a) };
+            for (wi, &x) in candidates[w.index()].iter().enumerate() {
+                slot[x.index()] = wi as u32;
+            }
+            let mut sample = NonTreeSample {
+                a_mask: mask_index(u.index()),
+                b_mask: mask_index(w.index()),
+                stride: 1,
+                pairs: Vec::new(),
+            };
+            // Source-sample when the scan would blow the budget: every
+            // `source_stride`-th candidate of `u` is scanned, each kept
+            // pair standing for `source_stride` sources' worth of edges.
+            let deg_sum: usize = candidates[u.index()]
+                .iter()
+                .map(|&v| g.degree(v) as usize)
+                .sum();
+            let source_stride = deg_sum.div_ceil(NONTREE_SCAN_BUDGET).max(1);
+            let mut hit_stride = 1usize;
+            let mut seen = 0usize;
+            for (ui, &v) in candidates[u.index()].iter().enumerate() {
+                if !ui.is_multiple_of(source_stride) {
+                    continue;
+                }
+                for &x in g.neighbors(v) {
+                    profile.probe_entries += 1;
+                    let wi = slot[x.index()];
+                    if wi == u32::MAX {
+                        continue;
+                    }
+                    if seen.is_multiple_of(hit_stride) {
+                        if sample.pairs.len() == NONTREE_SAMPLE_CAP {
+                            // Halve the sample, double the stride.
+                            let mut keep = 0usize;
+                            for i in (0..sample.pairs.len()).step_by(2) {
+                                sample.pairs[keep] = sample.pairs[i];
+                                keep += 1;
+                            }
+                            sample.pairs.truncate(keep);
+                            hit_stride *= 2;
+                        }
+                        if seen.is_multiple_of(hit_stride) {
+                            sample.pairs.push((ui as u32, wi));
+                        }
+                    }
+                    seen += 1;
+                }
+            }
+            sample.stride = source_stride * hit_stride;
+            for &x in candidates[w.index()].iter() {
+                slot[x.index()] = u32::MAX;
+            }
+            profile.nontree.push(sample);
+        }
+
+        profile.compute_weights();
+        profile.compute_hubs();
+        profile
+    }
+
+    /// Bottom-up `W_CST` dynamic program over the probed levels:
+    /// `c_u(v) = Π_{children} Σ_{targets} c_child`, roots last. A zero DP
+    /// value is exactly "no support under some child" — what one bottom-up
+    /// refinement pass removes — so the survival bitmaps fall out for free.
+    fn compute_weights(&mut self) {
+        let mut c: Vec<Vec<f64>> = self.levels.iter().map(|l| vec![1.0; l.count]).collect();
+        // Levels are in BFS order, so reverse order is bottom-up. Each
+        // level folds its DP values into its parent's product.
+        for li in (0..self.levels.len()).rev() {
+            let level = &self.levels[li];
+            let child_c = std::mem::take(&mut c[li]);
+            let parent_count = level.offsets.len() - 1;
+            let mut sums = vec![0.0f64; parent_count];
+            for (pi, sum) in sums.iter_mut().enumerate() {
+                let r = level.offsets[pi] as usize..level.offsets[pi + 1] as usize;
+                *sum = level.targets[r].iter().map(|&t| child_c[t as usize]).sum();
+            }
+            if level.parent == self.root_vertex {
+                for (w, s) in self.weights.iter_mut().zip(&sums) {
+                    *w *= s;
+                }
+            } else {
+                let parent_li = self
+                    .levels
+                    .iter()
+                    .position(|l| l.vertex == level.parent)
+                    .expect("parent level precedes child in BFS order");
+                for (v, s) in c[parent_li].iter_mut().zip(&sums) {
+                    *v *= s;
+                }
+            }
+            c[li] = child_c;
+        }
+        self.alive = Vec::with_capacity(self.levels.len() + 1);
+        self.alive
+            .push(self.weights.iter().map(|&w| w > 0.0).collect());
+        for values in &c {
+            self.alive.push(values.iter().map(|&v| v > 0.0).collect());
+        }
+    }
+
+    /// Dominant hub per root: the level-1 candidate shared with the most
+    /// roots (by in-degree over the root adjacency), ties → smallest
+    /// index. Roots sharing their dominant hub are the ones whose shard
+    /// separation duplicates that hub's whole subtree.
+    fn compute_hubs(&mut self) {
+        let Some(level1) = self.levels.iter().find(|l| l.parent == self.root_vertex) else {
+            return;
+        };
+        let mut indeg = vec![0u32; level1.count];
+        for &t in &level1.targets {
+            indeg[t as usize] += 1;
+        }
+        for (i, hub) in self.hubs.iter_mut().enumerate() {
+            let r = level1.offsets[i] as usize..level1.offsets[i + 1] as usize;
+            *hub = level1.targets[r]
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    indeg[a as usize]
+                        .cmp(&indeg[b as usize])
+                        .then_with(|| b.cmp(&a)) // ties → smallest index wins
+                });
+        }
+    }
+
+    /// A profile carrying only workload weights (no candidate-space
+    /// information) — what planning from an exact
+    /// `WorkloadEstimate::per_root_candidate` vector looks like. Overlap
+    /// estimates degrade to 1.0.
+    pub fn from_weights(weights: Vec<f64>) -> RootProfile {
+        let n = weights.len();
+        RootProfile {
+            weights,
+            levels: Vec::new(),
+            root_vertex: 0,
+            hubs: vec![None; n],
+            alive: Vec::new(),
+            nontree: Vec::new(),
+            probe_entries: 0,
+        }
+    }
+
+    /// The root's level-1 adjacency: candidate indices reachable from root
+    /// `i` (the 1-hop frontier, in discovery order).
+    fn level1(&self, i: usize) -> &[u32] {
+        match self.levels.iter().find(|l| l.parent == self.root_vertex) {
+            Some(l) => {
+                &l.targets[l.offsets[i] as usize..l.offsets[i + 1] as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// Whether the profile carries candidate-space information.
+    fn has_levels(&self) -> bool {
+        !self.levels.is_empty()
+    }
+}
+
+/// A planned shard decomposition of the root candidate list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardPlan {
+    /// The planner that produced this plan.
+    pub planner: ShardPlanner,
+    /// Root indices (into the sorted root candidate list) in assignment
+    /// order; shard `s` owns `order[ranges[s]]`. Identity for contiguous
+    /// and workload-balanced plans.
+    pub order: Vec<u32>,
+    /// Shard boundaries over `order`.
+    pub ranges: Vec<Range<usize>>,
+    /// Planned workload per shard (sums of the probed weights; root counts
+    /// when no weights were available).
+    pub shard_weights: Vec<f64>,
+    /// Estimated interior-candidate duplication of this decomposition:
+    /// `Σ_s |frontier(s)| / |∪ frontier|` over the probed 1-hop frontiers
+    /// (1.0 for one shard or when no frontier information exists).
+    pub estimated_duplication: f64,
+    /// Probe work behind the plan (0 for contiguous plans).
+    pub probe_entries: usize,
+}
+
+impl ShardPlan {
+    /// The blind equal-count plan over `count` roots — the pipeline's
+    /// original rule, with no probe cost.
+    pub fn contiguous(count: usize, shards: usize) -> ShardPlan {
+        let ranges = shard_ranges(count, shards);
+        let shard_weights = ranges.iter().map(|r| r.len() as f64).collect();
+        ShardPlan {
+            planner: ShardPlanner::Contiguous,
+            order: (0..count as u32).collect(),
+            ranges,
+            shard_weights,
+            estimated_duplication: 1.0,
+            probe_entries: 0,
+        }
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The root candidates of shard `s`, sorted by vertex id (the form
+    /// `build_cst_from_roots` requires).
+    pub fn chunk_roots(&self, roots: &[VertexId], s: usize) -> Vec<VertexId> {
+        let mut chunk: Vec<VertexId> = self.order[self.ranges[s].clone()]
+            .iter()
+            .map(|&i| roots[i as usize])
+            .collect();
+        chunk.sort_unstable();
+        chunk
+    }
+
+    /// Load-imbalance diagnostic: `max / mean` of the planned shard
+    /// workloads (1.0 for ≤ 1 shard or zero total).
+    pub fn workload_skew(&self) -> f64 {
+        if self.shard_weights.len() <= 1 {
+            return 1.0;
+        }
+        let total: f64 = self.shard_weights.iter().sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        let mean = total / self.shard_weights.len() as f64;
+        self.shard_weights.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
+/// Plans the pipeline's shard decomposition for `roots` under `options` —
+/// the entry point `cst::pipeline` calls before spawning workers.
+pub fn plan_pipeline_shards(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: &PipelineOptions,
+    roots: &[VertexId],
+) -> ShardPlan {
+    let shards = options.resolve_shards(roots.len());
+    if options.planner == ShardPlanner::Contiguous || roots.len() <= 1 || shards <= 1 {
+        let mut plan = ShardPlan::contiguous(roots.len(), shards);
+        // Keep the requested planner visible even when it degenerated.
+        plan.planner = options.planner;
+        return plan;
+    }
+    let profile = RootProfile::probe(q, g, tree, options.cst, roots);
+    plan_shards(options.planner, &profile, shards, &PlannerConfig::default())
+}
+
+/// Plans a shard decomposition from a probed (or synthetic) profile.
+/// `shards` is the requested shard count — the cap for [`ShardPlanner::Auto`],
+/// exact for the other planners (clamped to the root count).
+pub fn plan_shards(
+    planner: ShardPlanner,
+    profile: &RootProfile,
+    shards: usize,
+    config: &PlannerConfig,
+) -> ShardPlan {
+    let n = profile.weights.len();
+    let shards = shards.clamp(1, n.max(1));
+    let mut plan = match planner {
+        ShardPlanner::Contiguous => ShardPlan::contiguous(n, shards),
+        ShardPlanner::WorkloadBalanced => {
+            let order: Vec<u32> = (0..n as u32).collect();
+            assemble(ShardPlanner::WorkloadBalanced, profile, order, shards, None)
+        }
+        ShardPlanner::OverlapAware => overlap_plan(profile, shards, config),
+        ShardPlanner::Auto => auto_plan(profile, shards, config),
+    };
+    plan.probe_entries = profile.probe_entries;
+    plan
+}
+
+/// Builds a plan from an explicit root order: balanced boundaries, optional
+/// seam refinement, duplication estimate.
+fn assemble(
+    planner: ShardPlanner,
+    profile: &RootProfile,
+    order: Vec<u32>,
+    shards: usize,
+    refine: Option<&PlannerConfig>,
+) -> ShardPlan {
+    let mut ranges = balanced_boundaries(&profile.weights, &order, shards);
+    if let Some(config) = refine {
+        refine_boundaries(profile, &order, &mut ranges, config);
+    }
+    let shard_weights: Vec<f64> = ranges
+        .iter()
+        .map(|r| order[r.clone()].iter().map(|&i| profile.weights[i as usize]).sum())
+        .collect();
+    let estimated_duplication = estimated_duplication(profile, &order, &ranges);
+    ShardPlan {
+        planner,
+        order,
+        ranges,
+        shard_weights,
+        estimated_duplication,
+        probe_entries: profile.probe_entries,
+    }
+}
+
+/// Places `shards` boundaries over `order` by prefix sums of the weights
+/// (first-crossing rule): shard `k` closes at the first position whose
+/// cumulative weight reaches `total · (k+1) / S`.
+///
+/// Guarantee: when every weight is ≤ the mean shard workload
+/// (`total / S`), every shard's planned workload is < 2× the mean — the
+/// prefix at each boundary overshoots its target by less than one weight.
+/// Degenerate weight vectors (zero total) fall back to equal-count chunks.
+fn balanced_boundaries(weights: &[f64], order: &[u32], shards: usize) -> Vec<Range<usize>> {
+    let n = order.len();
+    let shards = shards.clamp(1, n.max(1));
+    let total: f64 = order.iter().map(|&i| weights[i as usize]).sum();
+    if shards <= 1 || n == 0 || total <= 0.0 || !total.is_finite() {
+        return shard_ranges(n, shards);
+    }
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut cum = 0.0f64;
+    for s in 0..shards {
+        let remaining_shards = shards - s;
+        // Reserve at least one root for every later shard.
+        let max_end = n - (remaining_shards - 1);
+        let mut end = start;
+        if s + 1 == shards {
+            end = n;
+        } else {
+            let target = total * (s + 1) as f64 / shards as f64;
+            while end < max_end {
+                cum += weights[order[end] as usize];
+                end += 1;
+                if cum >= target {
+                    break;
+                }
+            }
+            end = end.max(start + 1).min(max_end);
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+/// Shared 1-hop frontier between the roots just left and just right of a
+/// candidate cut at `pos` (up to `SPAN` roots each side) — the boundary
+/// score of the overlap cost model. Low values mean the two sides expand
+/// into mostly different interior vertices.
+fn boundary_overlap(profile: &RootProfile, order: &[u32], pos: usize) -> usize {
+    const SPAN: usize = 4;
+    let lo = pos.saturating_sub(SPAN);
+    let hi = (pos + SPAN).min(order.len());
+    let mut left: Vec<u32> = order[lo..pos]
+        .iter()
+        .flat_map(|&i| profile.level1(i as usize).iter().copied())
+        .collect();
+    left.sort_unstable();
+    left.dedup();
+    let mut right: Vec<u32> = order[pos..hi]
+        .iter()
+        .flat_map(|&i| profile.level1(i as usize).iter().copied())
+        .collect();
+    right.sort_unstable();
+    right.dedup();
+    sorted_intersection_len(&left, &right)
+}
+
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Locally moves each interior boundary to the candidate cut with the
+/// smallest [`boundary_overlap`], subject to the balance slack: neither
+/// adjacent shard may exceed `slack × mean` planned workload. Ties prefer
+/// the balanced position (then the smaller index) for determinism.
+fn refine_boundaries(
+    profile: &RootProfile,
+    order: &[u32],
+    ranges: &mut [Range<usize>],
+    config: &PlannerConfig,
+) {
+    if !profile.has_levels() || ranges.len() <= 1 {
+        return;
+    }
+    let n = order.len();
+    let shards = ranges.len();
+    let total: f64 = order.iter().map(|&i| profile.weights[i as usize]).sum();
+    let mean = if total > 0.0 { total / shards as f64 } else { 0.0 };
+    let cap = config.balance_slack * mean;
+    let window = (n / (4 * shards)).clamp(2, 32);
+    let weight_of = |r: Range<usize>| -> f64 {
+        order[r].iter().map(|&i| profile.weights[i as usize]).sum()
+    };
+    for k in 1..shards {
+        let b = ranges[k].start;
+        let lo = (ranges[k - 1].start + 1).max(b.saturating_sub(window));
+        let hi = (ranges[k].end.saturating_sub(1)).min(b + window);
+        if lo > hi {
+            continue;
+        }
+        let mut best = b;
+        let mut best_score = (boundary_overlap(profile, order, b), 0usize, b);
+        for j in lo..=hi {
+            if j == b {
+                continue;
+            }
+            if mean > 0.0 {
+                let left = weight_of(ranges[k - 1].start..j);
+                let right = weight_of(j..ranges[k].end);
+                if left > cap || right > cap {
+                    continue;
+                }
+            }
+            let score = (boundary_overlap(profile, order, j), b.abs_diff(j), j);
+            if score < best_score {
+                best_score = score;
+                best = j;
+            }
+        }
+        if best != b {
+            ranges[k - 1].end = best;
+            ranges[k].start = best;
+        }
+    }
+}
+
+/// Estimated interior-candidate duplication of a decomposition: a shard
+/// mask is OR-propagated down the probed candidate space (shard `s`
+/// reaches candidate `v` iff some candidate parent of `v` carries bit
+/// `s`), and every candidate is weighted by the tree-adjacency entries it
+/// sources, so the ratio
+///
+/// ```text
+/// Σ_v popcount(mask(v)) · entries(v)  /  Σ_v entries(v)
+/// ```
+///
+/// is the modelled total-entries-built over the sequential build — across
+/// **all** levels, not just the 1-hop frontier. One integer sweep over the
+/// probe's CSR per candidate plan; refinement pruning and non-tree-edge
+/// population are not modelled (they are what makes actual duplication
+/// drop below 1 on refinement-heavy queries — the estimate is an upper
+/// structure). Shard counts beyond 64 saturate the top mask bit, slightly
+/// underestimating very fine decompositions.
+pub fn estimated_duplication(
+    profile: &RootProfile,
+    order: &[u32],
+    ranges: &[Range<usize>],
+) -> f64 {
+    if !profile.has_levels() || ranges.len() <= 1 {
+        return 1.0;
+    }
+    // Root shard masks from the plan.
+    let n_roots = order.len();
+    let mut masks: Vec<Vec<u64>> = Vec::with_capacity(profile.levels.len() + 1);
+    let mut root_masks = vec![0u64; n_roots];
+    for (s, r) in ranges.iter().enumerate() {
+        let bit = 1u64 << s.min(63);
+        for &i in &order[r.clone()] {
+            root_masks[i as usize] = bit;
+        }
+    }
+    // Propagate level by level (BFS order ⇒ parents are already done).
+    // `masks` is indexed in step with `profile.levels`, root first.
+    let level_index: std::collections::HashMap<usize, usize> = profile
+        .levels
+        .iter()
+        .enumerate()
+        .map(|(li, l)| (l.vertex, li + 1))
+        .collect();
+    masks.push(root_masks);
+    for level in &profile.levels {
+        let parent_masks: &Vec<u64> = if level.parent == profile.root_vertex {
+            &masks[0]
+        } else {
+            &masks[level_index[&level.parent]]
+        };
+        let mut mine = vec![0u64; level.count];
+        for (pi, &m) in parent_masks.iter().enumerate() {
+            if m == 0 {
+                continue;
+            }
+            let r = level.offsets[pi] as usize..level.offsets[pi + 1] as usize;
+            for &t in &level.targets[r] {
+                mine[t as usize] |= m;
+            }
+        }
+        masks.push(mine);
+    }
+    // Entry weights: each *refinement-surviving* candidate sources its
+    // outgoing tree-adjacency lists towards surviving children (its slices
+    // of the child levels' CSRs) plus itself — mirroring the sequential
+    // build's post-refinement entry count the actual factors divide by.
+    let mut duplicated = 0.0f64;
+    let mut sequential = 0.0f64;
+    for (li, level_masks) in masks.iter().enumerate() {
+        let vertex = if li == 0 {
+            profile.root_vertex
+        } else {
+            profile.levels[li - 1].vertex
+        };
+        let alive = &profile.alive[li];
+        for (vi, &m) in level_masks.iter().enumerate() {
+            if m == 0 || !alive[vi] {
+                continue;
+            }
+            let mut entries = 1.0f64;
+            for (ci, child) in profile.levels.iter().enumerate() {
+                if child.parent != vertex {
+                    continue;
+                }
+                let child_alive = &profile.alive[ci + 1];
+                let r = child.offsets[vi] as usize..child.offsets[vi + 1] as usize;
+                entries += child.targets[r]
+                    .iter()
+                    .filter(|&&t| child_alive[t as usize])
+                    .count() as f64;
+            }
+            duplicated += m.count_ones() as f64 * entries;
+            sequential += entries;
+        }
+    }
+    // Non-tree entries: a shard materialises a sampled candidate edge iff
+    // it reaches *both* endpoints — the AND of the endpoint masks.
+    for sample in &profile.nontree {
+        let (am, bm) = (&masks[sample.a_mask], &masks[sample.b_mask]);
+        let (aa, ba) = (&profile.alive[sample.a_mask], &profile.alive[sample.b_mask]);
+        let stride = sample.stride as f64;
+        for &(i, j) in &sample.pairs {
+            if !aa[i as usize] || !ba[j as usize] {
+                continue;
+            }
+            let m = am[i as usize] & bm[j as usize];
+            duplicated += m.count_ones() as f64 * stride;
+            sequential += stride;
+        }
+    }
+    if sequential <= 0.0 {
+        return 1.0;
+    }
+    (duplicated / sequential).max(1.0)
+}
+
+/// Hub-clustered root order: roots sorted by their dominant hub neighbour
+/// (then by root index), so that all roots expanding into the same hub
+/// land in one contiguous run and the hub's subtree is built once instead
+/// of once per shard. Hubless roots (empty frontiers) sort last.
+fn cluster_order(profile: &RootProfile) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..profile.weights.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let hub = profile.hubs[i as usize];
+        (hub.is_none(), hub, i)
+    });
+    order
+}
+
+/// The overlap-aware plan at a fixed shard count.
+fn overlap_plan(profile: &RootProfile, shards: usize, config: &PlannerConfig) -> ShardPlan {
+    if !profile.has_levels() {
+        // No frontier information: the best we can do is balance workloads.
+        let order: Vec<u32> = (0..profile.weights.len() as u32).collect();
+        let mut plan = assemble(ShardPlanner::OverlapAware, profile, order, shards, None);
+        plan.planner = ShardPlanner::OverlapAware;
+        return plan;
+    }
+    let order = cluster_order(profile);
+    assemble(ShardPlanner::OverlapAware, profile, order, shards, Some(config))
+}
+
+/// Scores a candidate plan with the overlapped host model, in units of the
+/// sequential build:
+///
+/// ```text
+/// d         = estimated duplication of the plan
+/// build_par = d · max(1 / (T_ref · e), max planned shard share)
+/// fill      = first planned shard's share · d
+/// score     = fill + max(build_par − fill, ρ) + κ · (d − 1)
+/// ```
+///
+/// `ρ` is the partition phase the pipeline overlaps against and `κ`
+/// charges duplicated build work for contending with the consumer thread
+/// on the reference socket (both from [`PlannerConfig`]).
+fn plan_score(plan: &ShardPlan, config: &PlannerConfig) -> f64 {
+    let d = plan.estimated_duplication.max(1.0);
+    let total: f64 = plan.shard_weights.iter().sum();
+    let shards = plan.shard_count().max(1) as f64;
+    let max_share = if total > 0.0 {
+        plan.shard_weights.iter().cloned().fold(0.0, f64::max) / total
+    } else {
+        1.0 / shards
+    };
+    let effective = (config.reference_threads * config.parallel_efficiency).max(1.0);
+    // LPT bound: the build wall cannot beat the largest shard on one core.
+    let build_par = d * (1.0 / effective).max(max_share);
+    let fill = (d / shards).min(build_par);
+    fill + (build_par - fill).max(config.partition_build_ratio)
+        + config.duplication_charge * (d - 1.0)
+}
+
+/// Candidate shard counts for auto selection: powers of two up to the cap,
+/// plus the cap itself.
+fn candidate_shard_counts(cap: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut s = 1usize;
+    while s < cap {
+        out.push(s);
+        s *= 2;
+    }
+    out.push(cap);
+    out
+}
+
+/// Auto planning: score every candidate shard count and keep the best plan
+/// (ties prefer more shards — more overlap at equal modelled cost). At the
+/// winning count, contiguous boundaries are kept when the estimated
+/// duplication is below [`PlannerConfig::overlap_fallback`] so flat
+/// queries reproduce the contiguous decomposition exactly.
+fn auto_plan(profile: &RootProfile, cap: usize, config: &PlannerConfig) -> ShardPlan {
+    let n = profile.weights.len();
+    let cap = cap.clamp(1, n.max(1));
+    let mut best: Option<(f64, ShardPlan)> = None;
+    for s in candidate_shard_counts(cap) {
+        let contiguous = {
+            let mut p = ShardPlan::contiguous(n, s);
+            p.shard_weights = p
+                .ranges
+                .iter()
+                .map(|r| profile.weights[r.clone()].iter().sum())
+                .collect();
+            p.estimated_duplication = estimated_duplication(profile, &p.order, &p.ranges);
+            p
+        };
+        let candidate = if contiguous.estimated_duplication <= config.overlap_fallback {
+            contiguous
+        } else {
+            let overlap = overlap_plan(profile, s, config);
+            if overlap.estimated_duplication < contiguous.estimated_duplication {
+                overlap
+            } else {
+                contiguous
+            }
+        };
+        let score = plan_score(&candidate, config);
+        match &best {
+            Some((best_score, _)) if *best_score < score => {}
+            _ => best = Some((score, candidate)),
+        }
+    }
+    let mut plan = best.expect("at least one candidate shard count").1;
+    plan.planner = ShardPlanner::Auto;
+    plan.probe_entries = profile.probe_entries;
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(weights: Vec<f64>) -> RootProfile {
+        RootProfile::from_weights(weights)
+    }
+
+    fn coverage_ok(plan: &ShardPlan, n: usize) {
+        let mut seen: Vec<u32> = plan
+            .ranges
+            .iter()
+            .flat_map(|r| plan.order[r.clone()].iter().copied())
+            .collect();
+        assert_eq!(seen.len(), n, "every root assigned exactly once");
+        seen.sort_unstable();
+        assert!(seen.iter().enumerate().all(|(i, &v)| i as u32 == v));
+        let mut prev_end = 0usize;
+        for r in &plan.ranges {
+            assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+        }
+        assert_eq!(prev_end, n);
+    }
+
+    #[test]
+    fn balanced_respects_weights() {
+        // One heavy root at the front: equal-count halves would put 5 roots
+        // in each shard; balanced puts the heavy root alone.
+        let w = vec![100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let plan = plan_shards(
+            ShardPlanner::WorkloadBalanced,
+            &profile(w),
+            2,
+            &PlannerConfig::default(),
+        );
+        coverage_ok(&plan, 10);
+        assert_eq!(plan.ranges[0], 0..1);
+        assert_eq!(plan.shard_weights, vec![100.0, 9.0]);
+    }
+
+    #[test]
+    fn balanced_two_x_mean_guarantee() {
+        // Uniform-ish weights where max ≤ mean shard workload.
+        let w: Vec<f64> = (0..64).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();
+        for shards in [2usize, 3, 4, 8] {
+            let plan = plan_shards(
+                ShardPlanner::WorkloadBalanced,
+                &profile(w.clone()),
+                shards,
+                &PlannerConfig::default(),
+            );
+            coverage_ok(&plan, 64);
+            let total: f64 = w.iter().sum();
+            let mean = total / shards as f64;
+            for sw in &plan.shard_weights {
+                assert!(*sw < 2.0 * mean, "shard {sw} vs mean {mean} (S={shards})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workload_roots_fall_back_to_equal_count() {
+        let plan = plan_shards(
+            ShardPlanner::WorkloadBalanced,
+            &profile(vec![0.0; 12]),
+            4,
+            &PlannerConfig::default(),
+        );
+        coverage_ok(&plan, 12);
+        assert!(plan.ranges.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn single_root_collapses_to_one_shard() {
+        for planner in [
+            ShardPlanner::Contiguous,
+            ShardPlanner::WorkloadBalanced,
+            ShardPlanner::OverlapAware,
+            ShardPlanner::Auto,
+        ] {
+            let plan = plan_shards(planner, &profile(vec![3.0]), 8, &PlannerConfig::default());
+            assert_eq!(plan.shard_count(), 1);
+            coverage_ok(&plan, 1);
+            assert_eq!(plan.estimated_duplication, 1.0);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_roots_clamp() {
+        let plan = plan_shards(
+            ShardPlanner::WorkloadBalanced,
+            &profile(vec![1.0, 2.0, 3.0]),
+            100,
+            &PlannerConfig::default(),
+        );
+        assert_eq!(plan.shard_count(), 3);
+        coverage_ok(&plan, 3);
+        assert!(plan.ranges.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn auto_without_frontiers_keeps_the_cap_on_flat_weights() {
+        // No frontier info ⇒ duplication 1.0 everywhere ⇒ the score is
+        // minimised by the largest shard count (smallest fill).
+        let plan = plan_shards(
+            ShardPlanner::Auto,
+            &profile(vec![1.0; 64]),
+            16,
+            &PlannerConfig::default(),
+        );
+        assert_eq!(plan.shard_count(), 16);
+        coverage_ok(&plan, 64);
+    }
+
+    #[test]
+    fn workload_skew_diagnostic() {
+        let plan = ShardPlan {
+            shard_weights: vec![1.0, 3.0],
+            ..ShardPlan::contiguous(2, 2)
+        };
+        assert!((plan.workload_skew() - 1.5).abs() < 1e-12);
+        assert_eq!(ShardPlan::contiguous(0, 1).workload_skew(), 1.0);
+    }
+
+    #[test]
+    fn candidate_counts_cover_cap() {
+        assert_eq!(candidate_shard_counts(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(candidate_shard_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(candidate_shard_counts(1), vec![1]);
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::kernel::CollectMode;
 use crate::variants::Variant;
-use cst::{CstOptions, PartitionConfig};
+use cst::{CstOptions, PartitionConfig, ShardPlanner};
 use fpga_sim::{FpgaSpec, StageLatencies};
 
 /// Full configuration for a FAST run.
@@ -34,8 +34,16 @@ pub struct FastConfig {
     /// Shard (batch) count of the pipelined host path; `None` resolves to
     /// `cst::DEFAULT_SHARDS`. Deliberately **not** derived from
     /// `host_threads`, so all downstream artefacts are thread-count
-    /// independent. Ignored when `host_threads == 1`.
+    /// independent. Ignored when `host_threads == 1`. Under
+    /// [`ShardPlanner::Auto`] this is the planner's shard-count *cap*.
     pub pipeline_shards: Option<usize>,
+    /// Shard-boundary planning policy of the pipelined host path
+    /// (`cst::planner`): `Contiguous` (the blind equal-count rule),
+    /// `WorkloadBalanced`, `OverlapAware`, or `Auto` (per-query shard-count
+    /// selection). Plans never depend on `host_threads`, so every planner
+    /// preserves the pipeline's thread-count determinism. Ignored when
+    /// `host_threads == 1`.
+    pub shard_planner: ShardPlanner,
 }
 
 impl Default for FastConfig {
@@ -51,6 +59,7 @@ impl Default for FastConfig {
             max_partitions: 1 << 20,
             host_threads: 1,
             pipeline_shards: None,
+            shard_planner: ShardPlanner::Contiguous,
         }
     }
 }
@@ -117,6 +126,7 @@ impl FastConfig {
         cst::PipelineOptions {
             threads: self.host_threads.max(1),
             shards: self.pipeline_shards,
+            planner: self.shard_planner,
             cst: self.cst_options,
         }
     }

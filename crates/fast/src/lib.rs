@@ -39,6 +39,7 @@ pub mod scheduler;
 pub mod variants;
 
 pub use config::FastConfig;
+pub use cst::{ShardPlan, ShardPlanner};
 pub use host::{run_fast, run_fast_with_order, FastError, FastReport};
 pub use kernel::{run_kernel, CollectMode, KernelOutput};
 pub use multi_fpga::{run_multi_fpga, MultiFpgaReport};

@@ -114,6 +114,72 @@ enum Flow {
     Stop(Outcome),
 }
 
+/// Size ratio above which the larger list is galloped instead of merged:
+/// `log2` probes per element beat a linear scan once the partner list is
+/// ~32× longer (skips amortise past the binary-search constant factor).
+const GALLOP_RATIO: usize = 32;
+
+/// In-place intersection of sorted `result` with sorted `other`: a linear
+/// two-pointer merge when the sizes are comparable, galloping
+/// (exponential-probe) search into `other` when it is `GALLOP_RATIO`×
+/// longer. Callers sort lists ascending by length, so `result` is never
+/// the longer side.
+fn intersect_sorted(result: &mut Vec<u32>, other: &[u32]) {
+    let gallop = other.len() / GALLOP_RATIO > result.len();
+    let mut w = 0usize; // write cursor (w ≤ read cursor always)
+    let mut o = 0usize; // cursor into `other`
+    for r in 0..result.len() {
+        let x = result[r];
+        if gallop {
+            o = gallop_to(other, o, x);
+        } else {
+            while o < other.len() && other[o] < x {
+                o += 1;
+            }
+        }
+        if o == other.len() {
+            break;
+        }
+        if other[o] == x {
+            result[w] = x;
+            w += 1;
+            o += 1;
+        }
+    }
+    result.truncate(w);
+}
+
+/// First index `i ≥ from` with `other[i] ≥ x`, by doubling probes then a
+/// binary search within the final bracket (`other.len()` if none).
+fn gallop_to(other: &[u32], from: usize, x: u32) -> usize {
+    if from >= other.len() || other[from] >= x {
+        return from;
+    }
+    // Invariant: other[from + lo] < x; answer is in (from+lo, from+hi].
+    let mut step = 1usize;
+    let mut lo = 0usize;
+    let remaining = other.len() - from;
+    while lo + step < remaining && other[from + lo + step] < x {
+        lo += step;
+        step *= 2;
+    }
+    let mut hi = (lo + step).min(remaining - 1);
+    // Binary search in (lo, hi] — other[from+hi] may still be < x when the
+    // doubling ran off the end.
+    if other[from + hi] < x {
+        return other.len();
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if other[from + mid] < x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    from + hi
+}
+
 impl<'a> Search<'a> {
     fn check_limits(&self) -> Option<Outcome> {
         if self.stats.embeddings >= self.max_results {
@@ -213,10 +279,12 @@ impl<'a> Search<'a> {
                     if result.is_empty() {
                         break;
                     }
+                    // Cost unit: one per element of the current (smaller)
+                    // list per intersected partner — identical for both
+                    // strategies below, so the modelled time does not
+                    // depend on which one ran.
                     self.stats.intersection_elements += result.len() as u64;
-                    // Both sorted: retain via binary search (lists are short
-                    // relative to galloping break-even at this scale).
-                    result.retain(|x| other.binary_search(x).is_ok());
+                    intersect_sorted(&mut result, other);
                 }
 
                 for &j in &result {
@@ -344,6 +412,49 @@ mod tests {
         // Tiny searches may finish before the first poll; accept either but
         // require no panic. Larger searches are covered by baseline tests.
         assert!(matches!(o, Outcome::Completed | Outcome::Timeout));
+    }
+
+    #[test]
+    fn intersect_sorted_matches_naive_for_both_strategies() {
+        let naive = |a: &[u32], b: &[u32]| -> Vec<u32> {
+            a.iter().copied().filter(|x| b.contains(x)).collect()
+        };
+        // Comparable sizes → merge path.
+        let mut r = vec![1u32, 3, 5, 7, 9, 11];
+        let other = vec![2u32, 3, 4, 7, 8, 11, 12];
+        let expect = naive(&r, &other);
+        intersect_sorted(&mut r, &other);
+        assert_eq!(r, expect);
+        // Wildly unbalanced sizes → gallop path (other is 1000× longer).
+        let big: Vec<u32> = (0..4000).map(|i| i * 3).collect();
+        for small in [vec![], vec![9u32], vec![0, 2, 9, 3000, 11997, 11998]] {
+            let mut r = small.clone();
+            let expect = naive(&r, &big);
+            assert!(big.len() / GALLOP_RATIO > r.len(), "gallop branch taken");
+            intersect_sorted(&mut r, &big);
+            assert_eq!(r, expect, "input {small:?}");
+        }
+        // Element past the end of `other`.
+        let mut r = vec![100_000u32];
+        intersect_sorted(&mut r, &big);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn gallop_to_finds_lower_bound() {
+        let v: Vec<u32> = vec![2, 4, 4, 8, 16, 32, 64];
+        for (from, x, want) in [
+            (0usize, 0u32, 0usize),
+            (0, 2, 0),
+            (0, 3, 1),
+            (0, 4, 1),
+            (2, 4, 2),
+            (0, 64, 6),
+            (0, 65, 7),
+            (7, 1, 7),
+        ] {
+            assert_eq!(gallop_to(&v, from, x), want, "from={from} x={x}");
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! every shard count — the correctness bar of the overlapped host path.
 
 use cst::{
-    build_cst, build_cst_sharded, count_embeddings, for_each_shard_cst, CstOptions,
-    PipelineOptions,
+    build_cst, build_cst_sharded, count_embeddings, for_each_shard_cst, plan_shards,
+    CstOptions, PipelineOptions, PlannerConfig, RootProfile, ShardPlanner,
 };
 use fast::{run_fast, FastConfig, Variant};
 use graph_core::generators::random_labelled_graph;
@@ -87,6 +87,7 @@ proptest! {
                 threads,
                 shards: Some(shards),
                 cst: CstOptions::default(),
+                ..PipelineOptions::default()
             };
             let (merged, stats) = build_cst_sharded(&q, &g, &tree, &opts);
             prop_assert!(merged.validate(&q).is_ok());
@@ -113,9 +114,118 @@ proptest! {
             threads: 4,
             shards: Some(1),
             cst: CstOptions::default(),
+            ..PipelineOptions::default()
         };
         let (single, _) = build_cst_sharded(&q, &g, &tree, &opts);
         prop_assert!(csts_identical(&sequential, &single));
+    }
+
+    /// Every shard planner preserves the pipeline's correctness bar: the
+    /// merged CST's embedding count matches the sequential build, and the
+    /// merged CST is bit-identical across thread counts at a fixed
+    /// (planner, shard-count) pair — planned decompositions must never
+    /// depend on the thread count.
+    #[test]
+    fn planners_preserve_counts_and_thread_invariance(
+        q in arb_query(),
+        graph_seed in 0u64..200,
+        shards in 2usize..10,
+    ) {
+        let g = random_labelled_graph(45, 0.15, 2, graph_seed);
+        let root = QueryVertexId::new(0);
+        let tree = BfsTree::new(&q, root);
+        let order = MatchingOrder::new(&q, tree.bfs_order().to_vec()).expect("bfs");
+        let sequential = build_cst(&q, &g, &tree);
+        let whole = count_embeddings(&sequential, &q, &order);
+        for planner in [
+            ShardPlanner::WorkloadBalanced,
+            ShardPlanner::OverlapAware,
+            ShardPlanner::Auto,
+        ] {
+            let mut reference: Option<cst::Cst> = None;
+            for threads in [1usize, 4] {
+                let opts = PipelineOptions {
+                    threads,
+                    shards: Some(shards),
+                    planner,
+                    cst: CstOptions::default(),
+                };
+                let (merged, stats) = build_cst_sharded(&q, &g, &tree, &opts);
+                prop_assert!(merged.validate(&q).is_ok());
+                prop_assert_eq!(
+                    count_embeddings(&merged, &q, &order),
+                    whole,
+                    "{} threads {} shards {}",
+                    planner,
+                    threads,
+                    shards
+                );
+                prop_assert!(stats.shards <= shards.max(1), "{} over cap", planner);
+                // Planned shards cover every root exactly once.
+                prop_assert_eq!(
+                    stats.shard_reports.iter().map(|r| r.roots).sum::<usize>(),
+                    stats.root_candidates
+                );
+                match &reference {
+                    None => reference = Some(merged),
+                    Some(r) => prop_assert!(
+                        csts_identical(r, &merged),
+                        "{} threads {} produced a different CST",
+                        planner,
+                        threads
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The workload-balanced boundary search's guarantee: whenever no
+    /// single root weight exceeds the mean shard workload, every planned
+    /// shard stays within 2× of the mean.
+    #[test]
+    fn balanced_shards_within_two_x_mean_when_possible(
+        weight_seed in any::<u64>(),
+        len in 1usize..120,
+        shards in 1usize..12,
+    ) {
+        let weights: Vec<f64> = {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(weight_seed);
+            (0..len).map(|_| rng.gen_range(0u32..1000) as f64).collect()
+        };
+        let total: f64 = weights.iter().sum();
+        let profile = RootProfile::from_weights(weights.clone());
+        let plan = plan_shards(
+            ShardPlanner::WorkloadBalanced,
+            &profile,
+            shards,
+            &PlannerConfig::default(),
+        );
+        // Coverage: every root in exactly one shard, boundaries contiguous.
+        let mut seen: Vec<u32> = plan
+            .ranges
+            .iter()
+            .flat_map(|r| plan.order[r.clone()].iter().copied())
+            .collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen.len(), weights.len());
+        prop_assert!(seen.iter().enumerate().all(|(i, &v)| i as u32 == v));
+        let effective = plan.shard_count();
+        prop_assert!(effective <= shards.max(1));
+        let mean = total / effective as f64;
+        let max_weight = weights.iter().cloned().fold(0.0, f64::max);
+        if total > 0.0 && max_weight <= mean {
+            for (s, sw) in plan.shard_weights.iter().enumerate() {
+                prop_assert!(
+                    *sw < 2.0 * mean,
+                    "shard {} workload {} vs mean {} (S={})",
+                    s,
+                    sw,
+                    mean,
+                    effective
+                );
+            }
+        }
     }
 
     /// The full pipelined host driver (partition → schedule → kernel/CPU
@@ -164,6 +274,7 @@ fn empty_root_candidate_set() {
         threads: 4,
         shards: Some(8),
         cst: CstOptions::default(),
+        ..PipelineOptions::default()
     };
     let mut seen = 0usize;
     let stats = for_each_shard_cst(&q, &g, &tree, &opts, |s| {
@@ -198,6 +309,7 @@ fn singleton_root_shards() {
         threads: 4,
         shards: Some(roots * 3), // force the clamp to one root per shard
         cst: CstOptions::default(),
+        ..PipelineOptions::default()
     };
     let mut sum = 0u64;
     let stats = for_each_shard_cst(&q, &g, &tree, &opts, |s| {
@@ -208,4 +320,68 @@ fn singleton_root_shards() {
     assert_eq!(sum, whole);
     let (merged, _) = build_cst_sharded(&q, &g, &tree, &opts);
     assert_eq!(count_embeddings(&merged, &q, &order), whole);
+}
+
+/// Planner edge cases through the whole pipeline: empty root sets, a
+/// single root candidate, and more shards than candidates, under every
+/// planner.
+#[test]
+fn planner_edge_cases_end_to_end() {
+    let g = random_labelled_graph(25, 0.3, 2, 13);
+    let planners = [
+        ShardPlanner::Contiguous,
+        ShardPlanner::WorkloadBalanced,
+        ShardPlanner::OverlapAware,
+        ShardPlanner::Auto,
+    ];
+    // (query, expected-empty) pairs: a label absent from the graph (zero
+    // roots → zero-workload plan) and a normal triangle query.
+    let absent = QueryGraph::new(vec![Label::new(9), Label::new(1)], &[(0, 1)]).unwrap();
+    let triangle = QueryGraph::new(
+        vec![Label::new(0), Label::new(1), Label::new(1)],
+        &[(0, 1), (1, 2), (0, 2)],
+    )
+    .unwrap();
+    for planner in planners {
+        // Zero roots: one empty shard, regardless of planner.
+        let tree = BfsTree::new(&absent, QueryVertexId::new(0));
+        let opts = PipelineOptions {
+            threads: 2,
+            shards: Some(8),
+            planner,
+            cst: CstOptions::default(),
+        };
+        let stats = for_each_shard_cst(&absent, &g, &tree, &opts, |s| {
+            assert!(s.cst.any_empty());
+        });
+        assert_eq!(stats.shards, 1, "{planner}: zero roots collapse to one shard");
+
+        // Triangle query: shards > roots clamps, counts preserved.
+        let tree = BfsTree::new(&triangle, QueryVertexId::new(0));
+        let order = MatchingOrder::new(&triangle, tree.bfs_order().to_vec()).unwrap();
+        let whole = count_embeddings(&build_cst(&triangle, &g, &tree), &triangle, &order);
+        let roots = cst::root_candidates(&triangle, &g, &tree, CstOptions::default()).len();
+        let opts = PipelineOptions {
+            threads: 2,
+            shards: Some(roots * 5),
+            planner,
+            cst: CstOptions::default(),
+        };
+        let (merged, stats) = build_cst_sharded(&triangle, &g, &tree, &opts);
+        assert!(stats.shards <= roots, "{planner}: clamped to the root count");
+        assert_eq!(
+            count_embeddings(&merged, &triangle, &order),
+            whole,
+            "{planner}"
+        );
+
+        // Single root candidate: every planner degenerates to one shard.
+        let single_plan = cst::plan_shards(
+            planner,
+            &RootProfile::from_weights(vec![7.0]),
+            16,
+            &PlannerConfig::default(),
+        );
+        assert_eq!(single_plan.shard_count(), 1, "{planner}");
+    }
 }
