@@ -88,6 +88,7 @@ fn bench_planned_build(c: &mut Criterion) {
             shards: Some(16),
             planner,
             cst: CstOptions::default(),
+            ..PipelineOptions::default()
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(planner.to_string()),

@@ -5,7 +5,7 @@
 //!
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
-//!        | hostscale | shardplan
+//!        | hostscale | shardplan | serving
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -28,7 +28,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving"
                 );
                 std::process::exit(0);
             }
@@ -151,6 +151,17 @@ fn main() {
         let d = if opts.quick { DatasetId::Dg03 } else { huge };
         let rows = shard_planning::run(&mut cache, d, &queries);
         println!("{}", shard_planning::render(d, &rows));
+    }
+    if wants("serving") {
+        // Cold-vs-warm serving sweep (the `serve` subsystem): quick mode
+        // stays at DG01 with a shorter run; the full sweep serves DG03.
+        let (d, levels, requests): (DatasetId, &[usize], usize) = if opts.quick {
+            (DatasetId::Dg01, &[1, 4], 16)
+        } else {
+            (DatasetId::Dg03, &[1, 2, 4, 8], 24)
+        };
+        let rows = serving::run(&mut cache, d, levels, requests);
+        println!("{}", serving::render(d, &rows));
     }
     if wants("ablation") {
         let d = DatasetId::Dg01;

@@ -12,5 +12,6 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod host_scaling;
+pub mod serving;
 pub mod shard_planning;
 pub mod table3;

@@ -20,8 +20,14 @@
 //! * [`planner`] — workload-aware shard planning for that pipeline:
 //!   workload-balanced boundary search, overlap-aware (hub-clustered)
 //!   decomposition, and per-query auto shard-count selection
-//!   ([`ShardPlanner`], [`ShardPlan`]).
+//!   ([`ShardPlanner`], [`ShardPlan`]);
+//! * [`cache`] — cache-key derivation for shard plans ([`PlanKey`]): a
+//!   plan is a pure function of `(q, g, tree, options)`, so a serving
+//!   layer can key a plan cache on the query/tree fingerprint, a graph
+//!   epoch, and the plan-relevant options and skip the probe on repeats
+//!   ([`for_each_shard_cst_planned`]).
 
+pub mod cache;
 pub mod construct;
 pub mod enumerate;
 pub mod filter;
@@ -43,12 +49,14 @@ pub use partition::{
     fits, partition_cst, partition_cst_into, partition_cst_with_steal, shard_at_vertex,
     PartitionConfig, PartitionStats,
 };
+pub use cache::{plan_provenance, query_fingerprint, Fingerprint, PlanKey};
 pub use pipeline::{
-    build_cst_sharded, for_each_shard_cst, merge_shard_csts, PipelineOptions, PipelineStats,
-    ShardCst, ShardReport, DEFAULT_SHARDS,
+    build_cst_sharded, for_each_shard_cst, for_each_shard_cst_planned, merge_shard_csts,
+    PipelineOptions, PipelineStats, ShardCst, ShardReport, DEFAULT_SHARDS,
 };
 pub use planner::{
-    estimated_duplication, plan_shards, PlannerConfig, RootProfile, ShardPlan, ShardPlanner,
+    estimated_duplication, estimated_partition_ratio, plan_pipeline_shards, plan_shards,
+    PlannerConfig, RootProfile, ShardPlan, ShardPlanner,
 };
 pub use structure::{CsrAdj, Cst};
 pub use workload::{estimate_workload, WorkloadEstimate};

@@ -72,6 +72,12 @@ pub struct PipelineOptions {
     pub planner: ShardPlanner,
     /// CST construction pruning strength, forwarded to Algorithm 1.
     pub cst: CstOptions,
+    /// The device's δ_S payload threshold (bytes per partition) when the
+    /// caller knows it. Feeds the auto planner's per-query partition/build
+    /// ratio estimate (`cst::planner::estimated_partition_ratio`); `None`
+    /// keeps the calibrated constant ρ. Thread-count independent by
+    /// construction (a device property).
+    pub partition_hint: Option<usize>,
 }
 
 impl Default for PipelineOptions {
@@ -81,6 +87,7 @@ impl Default for PipelineOptions {
             shards: None,
             planner: ShardPlanner::Contiguous,
             cst: CstOptions::default(),
+            partition_hint: None,
         }
     }
 }
@@ -93,6 +100,7 @@ impl PipelineOptions {
             shards: Some(1),
             planner: ShardPlanner::Contiguous,
             cst,
+            partition_hint: None,
         }
     }
 
@@ -237,11 +245,40 @@ pub fn for_each_shard_cst<F: FnMut(ShardCst)>(
     g: &Graph,
     tree: &BfsTree,
     options: &PipelineOptions,
+    consume: F,
+) -> PipelineStats {
+    for_each_shard_cst_planned(q, g, tree, options, None, consume)
+}
+
+/// [`for_each_shard_cst`] with an optional precomputed [`ShardPlan`]: a
+/// cache-hit serving path hands the plan back in and the probe/boundary
+/// search is skipped entirely (`plan_time` ≈ 0). The plan must have been
+/// produced for the same `(q, g, tree, options)` — its
+/// [`provenance`](ShardPlan::provenance) fingerprint is checked against
+/// the freshly derived root candidate list and plan-relevant options, and
+/// a stale or foreign plan (hand-built plans included — their provenance
+/// is 0) is silently replanned: a wrong plan must never corrupt results,
+/// only cost time.
+pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: &PipelineOptions,
+    plan_override: Option<&ShardPlan>,
     mut consume: F,
 ) -> PipelineStats {
     let roots = root_candidates(q, g, tree, options.cst);
     let plan_t0 = Instant::now();
-    let plan = plan_pipeline_shards(q, g, tree, options, &roots);
+    let plan = match plan_override {
+        Some(p)
+            if p.provenance != 0
+                && p.provenance == crate::cache::plan_provenance(&roots, options)
+                && !p.ranges.is_empty() =>
+        {
+            p.clone()
+        }
+        _ => plan_pipeline_shards(q, g, tree, options, &roots),
+    };
     let plan_time = plan_t0.elapsed();
     let shards = plan.shard_count();
     // Chunk extraction is part of planning, not of any shard's build time.
@@ -522,6 +559,41 @@ mod tests {
             assert_eq!(sum, whole, "threads={threads}");
             assert_eq!(seen, (0..stats.shards).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn plan_override_replays_and_stale_plans_are_replanned() {
+        let (q, g, tree, _) = setup();
+        let opts = PipelineOptions {
+            threads: 1,
+            shards: Some(4),
+            planner: crate::ShardPlanner::WorkloadBalanced,
+            ..PipelineOptions::default()
+        };
+        // A fresh run yields the plan the pipeline would cache.
+        let fresh = for_each_shard_cst(&q, &g, &tree, &opts, |_| {});
+        assert_ne!(fresh.plan.provenance, 0, "pipeline plans carry provenance");
+
+        // Replaying it skips planning and executes the same decomposition.
+        let replay =
+            for_each_shard_cst_planned(&q, &g, &tree, &opts, Some(&fresh.plan), |_| {});
+        assert_eq!(replay.plan, fresh.plan);
+
+        // A plan for *different options* (same root set) must be rejected
+        // and replanned, not silently executed.
+        let other_opts = PipelineOptions {
+            shards: Some(2),
+            ..opts
+        };
+        let replanned =
+            for_each_shard_cst_planned(&q, &g, &tree, &other_opts, Some(&fresh.plan), |_| {});
+        assert_eq!(replanned.shards, 2, "stale plan must not override the options");
+
+        // Hand-built plans (provenance 0) are never trusted.
+        let hand_built = ShardPlan::contiguous(fresh.plan.order.len(), 4);
+        let guarded =
+            for_each_shard_cst_planned(&q, &g, &tree, &opts, Some(&hand_built), |_| {});
+        assert_eq!(guarded.plan.planner, crate::ShardPlanner::WorkloadBalanced);
     }
 
     #[test]

@@ -106,8 +106,18 @@ pub struct PlannerConfig {
     /// Modelled partition-to-build work ratio ρ: the partition phase that
     /// `fill + max(build_par − fill, partition)` overlaps against, in
     /// units of the sequential build (calibrated from the `probe` split,
-    /// where partitioning is 1–2× the build on the larger datasets).
+    /// where partitioning is 1–2× the build on the larger datasets). This
+    /// is the *saturated* value — what partition-dominated queries pay —
+    /// and the fallback when no probe or δ_S hint is available; per query,
+    /// [`estimated_partition_ratio`] scales it by the partition count the
+    /// probed candidate mass implies under [`PlannerConfig::delta_s_hint`].
     pub partition_build_ratio: f64,
+    /// The device's δ_S payload threshold (bytes per partition), when the
+    /// caller knows it ([`crate::PipelineOptions::partition_hint`]). Feeds
+    /// the per-query ρ estimate: a CST whose probed candidate mass fits in
+    /// one partition barely pays for partitioning at all, while one that
+    /// splits hundreds of ways pays the full calibrated ratio.
+    pub delta_s_hint: Option<usize>,
     /// Contention charge κ per unit of *duplicated* build work: duplicated
     /// shard work executes on the same socket as the partition/offload
     /// consumer, so it is charged at one reference-core's share.
@@ -135,8 +145,40 @@ impl Default for PlannerConfig {
             duplication_charge: 0.7,
             balance_slack: 2.0,
             overlap_fallback: 1.05,
+            delta_s_hint: None,
         }
     }
+}
+
+/// Modelled bytes per CST adjacency entry: the `u32` target plus its share
+/// of the CSR offsets scaffold (`Cst::payload_bytes` averages ≈ 5 bytes per
+/// entry on the benchmark queries).
+const BYTES_PER_ENTRY: f64 = 5.0;
+
+/// Per-query estimate of the partition/build work ratio ρ from the probe:
+/// the probed candidate mass ([`RootProfile::entry_mass`]) implies a
+/// partition count `P = ⌈mass · bytes / δ_S⌉` under the δ_S hint, and the
+/// greedy partitioner's work grows with the recursion depth `log₂ P` —
+/// a CST that fits whole (`P = 1`) pays only the fits-check scan, while one
+/// that splits ≥ 16 ways pays the full calibrated
+/// [`PlannerConfig::partition_build_ratio`]. Falls back to that calibrated
+/// constant when the profile carries no candidate mass or no hint was
+/// given (exactly the old fixed ρ = 1 behaviour).
+pub fn estimated_partition_ratio(profile: &RootProfile, config: &PlannerConfig) -> f64 {
+    let Some(delta_s) = config.delta_s_hint else {
+        return config.partition_build_ratio;
+    };
+    if profile.entry_mass <= 0.0 || delta_s == 0 {
+        return config.partition_build_ratio;
+    }
+    let bytes = profile.entry_mass * BYTES_PER_ENTRY;
+    let partitions = (bytes / delta_s as f64).ceil().max(1.0);
+    // Depth factor: 0.2 at P = 1 (one streaming fits-check), saturating at
+    // 1 once the split recursion is ≥ 4 levels deep, capped at 1.5 for
+    // pathological split counts (the host model's flat 2× entries charge
+    // stops growing there too).
+    let depth = ((1.0 + partitions.log2()) / 5.0).clamp(0.2, 1.5);
+    config.partition_build_ratio * depth
 }
 
 /// One non-root query vertex's slice of the probed candidate space: the
@@ -217,6 +259,13 @@ pub struct RootProfile {
     /// `(vertex, filter)` evaluations of the probe pass — its work unit
     /// for cost accounting.
     pub probe_entries: usize,
+    /// Modelled sequential CST entry mass: refinement-surviving candidates
+    /// plus their tree-adjacency entries towards surviving children and the
+    /// (stride-weighted) surviving non-tree candidate edges — the same
+    /// denominator [`estimated_duplication`] normalises by, available
+    /// without a plan. Feeds the per-query ρ estimate
+    /// ([`estimated_partition_ratio`]).
+    pub entry_mass: f64,
 }
 
 impl RootProfile {
@@ -243,6 +292,7 @@ impl RootProfile {
             alive: Vec::new(),
             nontree: Vec::new(),
             probe_entries: 0,
+            entry_mass: 0.0,
         };
         let mut scratch = Vec::new();
 
@@ -376,6 +426,7 @@ impl RootProfile {
 
         profile.compute_weights();
         profile.compute_hubs();
+        profile.compute_entry_mass();
         profile
     }
 
@@ -445,6 +496,54 @@ impl RootProfile {
         }
     }
 
+    /// The sequential entry-mass accumulation of [`estimated_duplication`]
+    /// without any plan: every refinement-surviving candidate counts itself
+    /// plus its tree-adjacency entries towards surviving children, and every
+    /// surviving sampled non-tree edge counts its stride.
+    fn compute_entry_mass(&mut self) {
+        if !self.has_levels() {
+            self.entry_mass = 0.0;
+            return;
+        }
+        let mut mass = 0.0f64;
+        for li in 0..=self.levels.len() {
+            let (vertex, count) = if li == 0 {
+                (self.root_vertex, self.weights.len())
+            } else {
+                (self.levels[li - 1].vertex, self.levels[li - 1].count)
+            };
+            let alive = &self.alive[li];
+            for (vi, &live) in alive.iter().enumerate().take(count) {
+                if !live {
+                    continue;
+                }
+                let mut entries = 1.0f64;
+                for (ci, child) in self.levels.iter().enumerate() {
+                    if child.parent != vertex {
+                        continue;
+                    }
+                    let child_alive = &self.alive[ci + 1];
+                    let r = child.offsets[vi] as usize..child.offsets[vi + 1] as usize;
+                    entries += child.targets[r]
+                        .iter()
+                        .filter(|&&t| child_alive[t as usize])
+                        .count() as f64;
+                }
+                mass += entries;
+            }
+        }
+        for sample in &self.nontree {
+            let (aa, ba) = (&self.alive[sample.a_mask], &self.alive[sample.b_mask]);
+            let stride = sample.stride as f64;
+            for &(i, j) in &sample.pairs {
+                if aa[i as usize] && ba[j as usize] {
+                    mass += stride;
+                }
+            }
+        }
+        self.entry_mass = mass;
+    }
+
     /// A profile carrying only workload weights (no candidate-space
     /// information) — what planning from an exact
     /// `WorkloadEstimate::per_root_candidate` vector looks like. Overlap
@@ -459,6 +558,7 @@ impl RootProfile {
             alive: Vec::new(),
             nontree: Vec::new(),
             probe_entries: 0,
+            entry_mass: 0.0,
         }
     }
 
@@ -497,8 +597,18 @@ pub struct ShardPlan {
     /// `Σ_s |frontier(s)| / |∪ frontier|` over the probed 1-hop frontiers
     /// (1.0 for one shard or when no frontier information exists).
     pub estimated_duplication: f64,
+    /// The partition/build ratio ρ the planner's score used
+    /// ([`estimated_partition_ratio`]): per-query from the probed candidate
+    /// mass when a δ_S hint was available, otherwise the calibrated
+    /// [`PlannerConfig::partition_build_ratio`] constant.
+    pub partition_ratio: f64,
     /// Probe work behind the plan (0 for contiguous plans).
     pub probe_entries: usize,
+    /// Fingerprint of the planning inputs ([`crate::cache::plan_provenance`]):
+    /// set by [`plan_pipeline_shards`], 0 for hand-built plans. A supplied
+    /// plan is only trusted by `for_each_shard_cst_planned` when this
+    /// matches the freshly derived inputs.
+    pub provenance: u64,
 }
 
 impl ShardPlan {
@@ -513,7 +623,9 @@ impl ShardPlan {
             ranges,
             shard_weights,
             estimated_duplication: 1.0,
+            partition_ratio: 1.0,
             probe_entries: 0,
+            provenance: 0,
         }
     }
 
@@ -558,14 +670,22 @@ pub fn plan_pipeline_shards(
     roots: &[VertexId],
 ) -> ShardPlan {
     let shards = options.resolve_shards(roots.len());
+    let provenance = crate::cache::plan_provenance(roots, options);
     if options.planner == ShardPlanner::Contiguous || roots.len() <= 1 || shards <= 1 {
         let mut plan = ShardPlan::contiguous(roots.len(), shards);
         // Keep the requested planner visible even when it degenerated.
         plan.planner = options.planner;
+        plan.provenance = provenance;
         return plan;
     }
     let profile = RootProfile::probe(q, g, tree, options.cst, roots);
-    plan_shards(options.planner, &profile, shards, &PlannerConfig::default())
+    let config = PlannerConfig {
+        delta_s_hint: options.partition_hint,
+        ..PlannerConfig::default()
+    };
+    let mut plan = plan_shards(options.planner, &profile, shards, &config);
+    plan.provenance = provenance;
+    plan
 }
 
 /// Plans a shard decomposition from a probed (or synthetic) profile.
@@ -589,6 +709,7 @@ pub fn plan_shards(
         ShardPlanner::Auto => auto_plan(profile, shards, config),
     };
     plan.probe_entries = profile.probe_entries;
+    plan.partition_ratio = estimated_partition_ratio(profile, config);
     plan
 }
 
@@ -616,7 +737,9 @@ fn assemble(
         ranges,
         shard_weights,
         estimated_duplication,
+        partition_ratio: 1.0,
         probe_entries: profile.probe_entries,
+        provenance: 0,
     }
 }
 
@@ -911,10 +1034,11 @@ fn overlap_plan(profile: &RootProfile, shards: usize, config: &PlannerConfig) ->
 /// score     = fill + max(build_par − fill, ρ) + κ · (d − 1)
 /// ```
 ///
-/// `ρ` is the partition phase the pipeline overlaps against and `κ`
-/// charges duplicated build work for contending with the consumer thread
-/// on the reference socket (both from [`PlannerConfig`]).
-fn plan_score(plan: &ShardPlan, config: &PlannerConfig) -> f64 {
+/// `ρ` is the partition phase the pipeline overlaps against — per query
+/// from [`estimated_partition_ratio`] — and `κ` charges duplicated build
+/// work for contending with the consumer thread on the reference socket
+/// (from [`PlannerConfig`]).
+fn plan_score(plan: &ShardPlan, config: &PlannerConfig, rho: f64) -> f64 {
     let d = plan.estimated_duplication.max(1.0);
     let total: f64 = plan.shard_weights.iter().sum();
     let shards = plan.shard_count().max(1) as f64;
@@ -927,8 +1051,7 @@ fn plan_score(plan: &ShardPlan, config: &PlannerConfig) -> f64 {
     // LPT bound: the build wall cannot beat the largest shard on one core.
     let build_par = d * (1.0 / effective).max(max_share);
     let fill = (d / shards).min(build_par);
-    fill + (build_par - fill).max(config.partition_build_ratio)
-        + config.duplication_charge * (d - 1.0)
+    fill + (build_par - fill).max(rho) + config.duplication_charge * (d - 1.0)
 }
 
 /// Candidate shard counts for auto selection: powers of two up to the cap,
@@ -952,6 +1075,7 @@ fn candidate_shard_counts(cap: usize) -> Vec<usize> {
 fn auto_plan(profile: &RootProfile, cap: usize, config: &PlannerConfig) -> ShardPlan {
     let n = profile.weights.len();
     let cap = cap.clamp(1, n.max(1));
+    let rho = estimated_partition_ratio(profile, config);
     let mut best: Option<(f64, ShardPlan)> = None;
     for s in candidate_shard_counts(cap) {
         let contiguous = {
@@ -974,7 +1098,7 @@ fn auto_plan(profile: &RootProfile, cap: usize, config: &PlannerConfig) -> Shard
                 contiguous
             }
         };
-        let score = plan_score(&candidate, config);
+        let score = plan_score(&candidate, config, rho);
         match &best {
             Some((best_score, _)) if *best_score < score => {}
             _ => best = Some((score, candidate)),
@@ -1109,6 +1233,75 @@ mod tests {
         };
         assert!((plan.workload_skew() - 1.5).abs() < 1e-12);
         assert_eq!(ShardPlan::contiguous(0, 1).workload_skew(), 1.0);
+    }
+
+    #[test]
+    fn partition_ratio_falls_back_without_hint_or_mass() {
+        let config = PlannerConfig::default();
+        let p = profile(vec![1.0; 8]);
+        // No hint: the calibrated constant, exactly the old fixed ρ.
+        assert_eq!(
+            estimated_partition_ratio(&p, &config),
+            config.partition_build_ratio
+        );
+        // Hint but no probed mass (weights-only profile): same fallback.
+        let hinted = PlannerConfig {
+            delta_s_hint: Some(1 << 16),
+            ..config
+        };
+        assert_eq!(
+            estimated_partition_ratio(&p, &hinted),
+            config.partition_build_ratio
+        );
+    }
+
+    #[test]
+    fn partition_ratio_scales_with_candidate_mass() {
+        let base = PlannerConfig {
+            delta_s_hint: Some(10_000),
+            ..PlannerConfig::default()
+        };
+        let mut p = profile(vec![1.0; 8]);
+        // Fits in one partition: only the fits-check share of ρ.
+        p.entry_mass = 100.0;
+        let fits = estimated_partition_ratio(&p, &base);
+        assert!((fits - 0.2 * base.partition_build_ratio).abs() < 1e-12, "{fits}");
+        // Hundreds of partitions: saturates above the calibrated constant.
+        p.entry_mass = 1e9;
+        let split = estimated_partition_ratio(&p, &base);
+        assert!((split - 1.5 * base.partition_build_ratio).abs() < 1e-12, "{split}");
+        // Monotone in the candidate mass between the clamps.
+        let mut prev = 0.0;
+        for mass in [1e3, 1e4, 1e5, 1e6, 1e7] {
+            p.entry_mass = mass;
+            let rho = estimated_partition_ratio(&p, &base);
+            assert!(rho >= prev, "ρ must not decrease with mass");
+            prev = rho;
+        }
+    }
+
+    #[test]
+    fn plans_carry_the_ratio_they_scored_with() {
+        let config = PlannerConfig {
+            delta_s_hint: Some(1_000),
+            ..PlannerConfig::default()
+        };
+        let mut p = profile(vec![1.0; 16]);
+        p.entry_mass = 5e5;
+        let expected = estimated_partition_ratio(&p, &config);
+        for planner in [
+            ShardPlanner::WorkloadBalanced,
+            ShardPlanner::OverlapAware,
+            ShardPlanner::Auto,
+        ] {
+            let plan = plan_shards(planner, &p, 8, &config);
+            assert!(
+                (plan.partition_ratio - expected).abs() < 1e-12,
+                "{planner}: {} vs {}",
+                plan.partition_ratio,
+                expected
+            );
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::kernel::CollectMode;
 use crate::variants::Variant;
-use cst::{CstOptions, PartitionConfig, ShardPlanner};
+use cst::{CstOptions, PartitionConfig, ShardPlan, ShardPlanner};
 use fpga_sim::{FpgaSpec, StageLatencies};
+use std::sync::Arc;
 
 /// Full configuration for a FAST run.
 #[derive(Debug, Clone)]
@@ -44,6 +45,15 @@ pub struct FastConfig {
     /// preserves the pipeline's thread-count determinism. Ignored when
     /// `host_threads == 1`.
     pub shard_planner: ShardPlanner,
+    /// Optional precomputed shard plan for the pipelined flow. A
+    /// [`ShardPlan`] is a pure function of `(q, g, tree, options)`, so a
+    /// serving layer that caches plans by [`cst::PlanKey`] hands the hit
+    /// back through this field and the run skips the probe/boundary search
+    /// entirely (the cache path and the one-shot path share the same
+    /// pipeline entry, `cst::for_each_shard_cst_planned`). Must have been
+    /// planned for the same query/graph/options; a mismatched plan is
+    /// detected and silently replanned. `None` (default) plans fresh.
+    pub shard_plan: Option<Arc<ShardPlan>>,
 }
 
 impl Default for FastConfig {
@@ -60,6 +70,7 @@ impl Default for FastConfig {
             host_threads: 1,
             pipeline_shards: None,
             shard_planner: ShardPlanner::Contiguous,
+            shard_plan: None,
         }
     }
 }
@@ -121,13 +132,18 @@ impl FastConfig {
     }
 
     /// The sharded-pipeline options induced by this configuration
-    /// (`cst::pipeline`).
-    pub fn pipeline_options(&self) -> cst::PipelineOptions {
+    /// (`cst::pipeline`) for a query with `query_len` vertices. The device's
+    /// raw δ_S BRAM grant rides along as the planner's partition hint, so
+    /// the auto planner's ρ estimate sees the same budget the partitioner
+    /// will split against.
+    pub fn pipeline_options(&self, query_len: usize) -> cst::PipelineOptions {
+        let partial_bytes = std::mem::size_of::<crate::buffer::Partial>();
         cst::PipelineOptions {
             threads: self.host_threads.max(1),
             shards: self.pipeline_shards,
             planner: self.shard_planner,
             cst: self.cst_options,
+            partition_hint: Some(self.spec.cst_bram_budget(query_len, partial_bytes).max(1)),
         }
     }
 

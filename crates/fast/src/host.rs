@@ -42,8 +42,8 @@ use crate::plan::{KernelPlan, PlanError};
 use crate::scheduler::ShareScheduler;
 use crate::variants::Variant;
 use cst::{
-    build_cst_with_stats, estimate_workload, for_each_shard_cst, partition_cst_with_steal, Cst,
-    PartitionConfig, ShardPlanner,
+    build_cst_with_stats, estimate_workload, for_each_shard_cst_planned, partition_cst_into,
+    partition_cst_with_steal, Cst, PartitionConfig, ShardPlan, ShardPlanner,
 };
 use fpga_sim::WorkloadCounts;
 use graph_core::{path_based_order, select_root, BfsTree, Graph, MatchingOrder, QueryGraph, VertexId};
@@ -406,14 +406,15 @@ fn run_fast_pipelined(
     let wall_start = Instant::now();
     let cpu_cost = CpuCostModel::default();
     let plan = KernelPlan::new(q, order, tree)?;
-    let pipe_opts = config.pipeline_options();
+    let pipe_opts = config.pipeline_options(q.vertex_count());
 
     let mut state = OffloadState::new(config, &plan, tree);
     let mut partition_cpu = Duration::ZERO;
     let prepare_start = state.prepare_start;
     // Split the borrow: the closure must not capture `state` whole.
     let state_ref = &mut state;
-    let pipe_stats = for_each_shard_cst(q, g, tree, &pipe_opts, |shard| {
+    let cached_plan = config.shard_plan.as_deref();
+    let pipe_stats = for_each_shard_cst_planned(q, g, tree, &pipe_opts, cached_plan, |shard| {
         if shard.cst.any_empty() {
             return;
         }
@@ -462,6 +463,108 @@ fn run_fast_pipelined(
         },
         wall_start,
     )
+}
+
+/// One partition of a session's deterministic partition stream, with its
+/// workload estimate — the unit a serving layer dispatches to a device.
+#[derive(Debug)]
+pub struct PartitionJob {
+    /// Position in the partition sequence (shard order, then emission order
+    /// within each shard). Identical for every thread count.
+    pub index: usize,
+    /// The partition: a self-contained, independently matchable CST.
+    pub cst: Cst,
+    /// Estimated embeddings (`W_CST`, Section V-C) — the dispatch cost
+    /// model a shortest-expected-completion scheduler books per device.
+    pub workload: f64,
+}
+
+/// Summary of the decoupled prepare phase (build + partition, no kernel).
+#[derive(Debug, Clone)]
+pub struct PreparePhase {
+    /// The shard plan the pipeline executed (cached or freshly probed).
+    pub shard_plan: ShardPlan,
+    /// Wall time of shard planning; ~0 when a cached plan was supplied.
+    pub plan_time: Duration,
+    /// Shards the root candidate set was split into.
+    pub pipeline_shards: usize,
+    /// Worker threads the build used.
+    pub host_threads: usize,
+    /// Wall time of the build phase (first shard started → last finished).
+    pub build_wall: Duration,
+    /// Total CPU time across shard builds.
+    pub build_cpu: Duration,
+    /// Wall time spent partitioning shards — **including** time spent
+    /// inside the caller's sink (callers running kernels in the sink should
+    /// keep their own split).
+    pub partition_time: Duration,
+    /// Adjacency entries materialised across shard builds.
+    pub build_entries: usize,
+    /// Partitions handed to the sink.
+    pub partitions: usize,
+    /// Partitions emitted despite violating thresholds (should be 0).
+    pub forced: usize,
+}
+
+/// The prepare phase of Fig. 2 decoupled from execution: builds the CST on
+/// the (optionally sharded, pipelined) host path and streams every
+/// partition into `sink` with its workload estimate, running **no** kernel
+/// and booking **no** CPU share — execution policy belongs to the caller.
+/// This is the per-session entry point of the serving layer (`serve`):
+/// the caller derives the tree/order once (reusing them for its cache key),
+/// and a cached [`ShardPlan`] in [`FastConfig::shard_plan`] skips the
+/// probe/boundary search exactly as in [`run_fast`]. The partition
+/// sequence is deterministic for every `host_threads` value.
+pub fn prepare_partitions(
+    q: &QueryGraph,
+    g: &Graph,
+    config: &FastConfig,
+    tree: &BfsTree,
+    order: &MatchingOrder,
+    sink: &mut dyn FnMut(PartitionJob),
+) -> PreparePhase {
+    let pipe_opts = config.pipeline_options(q.vertex_count());
+    let mut partition_time = Duration::ZERO;
+    let mut index = 0usize;
+    let mut forced = 0usize;
+    let pipe_stats = for_each_shard_cst_planned(
+        q,
+        g,
+        tree,
+        &pipe_opts,
+        config.shard_plan.as_deref(),
+        |shard| {
+            if shard.cst.any_empty() {
+                return;
+            }
+            let t0 = Instant::now();
+            let partition_config = config.partition_config(q.vertex_count(), &shard.cst);
+            let mut emit = |partition: Cst| {
+                let workload = estimate_workload(&partition, tree).total;
+                sink(PartitionJob {
+                    index,
+                    cst: partition,
+                    workload,
+                });
+                index += 1;
+            };
+            let stats = partition_cst_into(&shard.cst, order, &partition_config, &mut emit);
+            forced += stats.forced;
+            partition_time += t0.elapsed();
+        },
+    );
+    PreparePhase {
+        build_entries: pipe_stats.total_adjacency_entries(),
+        pipeline_shards: pipe_stats.shards,
+        host_threads: pipe_stats.threads,
+        build_wall: pipe_stats.build_wall,
+        build_cpu: pipe_stats.build_cpu,
+        plan_time: pipe_stats.plan_time,
+        shard_plan: pipe_stats.plan,
+        partition_time,
+        partitions: index,
+        forced,
+    }
 }
 
 /// Host-side timing summary handed to the report assembler.

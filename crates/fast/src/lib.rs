@@ -40,7 +40,10 @@ pub mod variants;
 
 pub use config::FastConfig;
 pub use cst::{ShardPlan, ShardPlanner};
-pub use host::{run_fast, run_fast_with_order, FastError, FastReport};
+pub use host::{
+    prepare_partitions, run_fast, run_fast_with_order, FastError, FastReport, PartitionJob,
+    PreparePhase,
+};
 pub use kernel::{run_kernel, CollectMode, KernelOutput};
 pub use multi_fpga::{run_multi_fpga, MultiFpgaReport};
 pub use plan::{KernelPlan, PlanError, MAX_KERNEL_QUERY};

@@ -1,0 +1,193 @@
+//! The LRU plan cache fronting `plan_pipeline_shards`.
+//!
+//! Keys are [`cst::PlanKey`]s (derived in `cst::cache`, next to the planner
+//! whose inputs they fingerprint); values are [`Arc<ShardPlan>`]s shared
+//! with the sessions executing them. Capacity-bounded with
+//! least-recently-*used* eviction — a hit refreshes the entry — and
+//! hit/miss/eviction counters surfaced through [`CacheStats`] into the
+//! service report. Capacity 0 disables the cache entirely (every lookup
+//! misses, nothing is stored): the "cold" configuration of the serving
+//! benchmark.
+
+use cst::{PlanKey, ShardPlan};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hit/miss accounting of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (including all lookups at capacity 0).
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<ShardPlan>,
+    last_used: u64,
+}
+
+/// A capacity-bounded LRU map `PlanKey → Arc<ShardPlan>`.
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<PlanKey, Entry>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts the outcome.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<ShardPlan>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `plan` under `key`, evicting the least-recently-used entry if
+    /// the cache is full. A no-op at capacity 0.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<ShardPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // O(n) victim scan: serving caches hold tens of plans, not
+            // millions — a linked-list LRU would be pure overhead here.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        let tick = self.tick;
+        self.entries.insert(
+            key,
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+        self.stats.insertions += 1;
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(q: u64) -> PlanKey {
+        PlanKey {
+            query: q,
+            graph_epoch: 0,
+            options: 0,
+        }
+    }
+
+    fn plan(shards: usize) -> Arc<ShardPlan> {
+        Arc::new(ShardPlan::contiguous(shards * 4, shards))
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = PlanCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), plan(2));
+        let hit = c.get(&key(1)).expect("cached");
+        assert_eq!(hit.shard_count(), 2);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, insertions: 1, evictions: 0 });
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), plan(1));
+        c.insert(key(2), plan(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), plan(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut c = PlanCache::new(1);
+        c.insert(key(1), plan(1));
+        c.insert(key(1), plan(3));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key(1)).unwrap().shard_count(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = PlanCache::new(0);
+        c.insert(key(1), plan(1));
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.stats().insertions, 0);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}

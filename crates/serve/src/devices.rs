@@ -1,0 +1,170 @@
+//! The emulated device pool and its dispatch policy.
+//!
+//! The paper's multi-FPGA extension (Section VII-E) assigns each CST — "an
+//! independent and complete search space" — to "the FPGA with the minimum
+//! total workload" using the `W_CST` estimate. The serving pool generalises
+//! that from one query's partitions to a concurrent stream: every partition
+//! of every in-flight session is booked onto the device whose *outstanding*
+//! booked workload is smallest — shortest expected completion, since
+//! outstanding workload is the length of the device's virtual queue.
+//! Completions subtract their booking and add the partition's actual
+//! modelled cycles, so utilisation reporting uses real (modelled) device
+//! time while dispatch uses the a-priori estimate.
+
+use fpga_sim::FpgaSpec;
+
+/// Accumulated counters of one emulated device.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Workload admitted but not yet completed (the virtual queue length).
+    pub outstanding_workload: f64,
+    /// Total workload ever booked.
+    pub total_workload: f64,
+    /// Partitions executed.
+    pub partitions: u64,
+    /// Modelled kernel cycles executed.
+    pub cycles: u64,
+}
+
+/// A pool of emulated FPGA devices with shortest-expected-completion
+/// dispatch.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    devices: Vec<DeviceStats>,
+}
+
+impl DevicePool {
+    /// Creates a pool of `cards` devices.
+    ///
+    /// # Panics
+    /// Panics if `cards == 0`.
+    pub fn new(cards: usize) -> Self {
+        assert!(cards >= 1, "need at least one device");
+        DevicePool {
+            devices: vec![DeviceStats::default(); cards],
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Books `workload` onto the device with the shortest expected
+    /// completion (minimum outstanding workload; ties → lowest index) and
+    /// returns its id.
+    pub fn admit(&mut self, workload: f64) -> usize {
+        let device = (0..self.devices.len())
+            .min_by(|&a, &b| {
+                self.devices[a]
+                    .outstanding_workload
+                    .total_cmp(&self.devices[b].outstanding_workload)
+            })
+            .expect("pool is non-empty");
+        let d = &mut self.devices[device];
+        d.outstanding_workload += workload;
+        d.total_workload += workload;
+        device
+    }
+
+    /// Completes a partition previously admitted to `device`: releases its
+    /// workload booking and records the modelled cycles it actually cost.
+    pub fn complete(&mut self, device: usize, workload: f64, cycles: u64) {
+        let d = &mut self.devices[device];
+        d.outstanding_workload = (d.outstanding_workload - workload).max(0.0);
+        d.partitions += 1;
+        d.cycles += cycles;
+    }
+
+    /// Per-device counters.
+    pub fn snapshot(&self) -> Vec<DeviceStats> {
+        self.devices.clone()
+    }
+
+    /// The busiest device's modelled cycles — the fleet's makespan.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.devices.iter().map(|d| d.cycles).max().unwrap_or(0)
+    }
+
+    /// Total modelled cycles across devices.
+    pub fn total_cycles(&self) -> u64 {
+        self.devices.iter().map(|d| d.cycles).sum()
+    }
+
+    /// Load imbalance: max/mean booked workload (1.0 when idle).
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .devices
+            .iter()
+            .map(|d| d.total_workload)
+            .fold(0.0, f64::max);
+        let mean =
+            self.devices.iter().map(|d| d.total_workload).sum::<f64>() / self.devices.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Modelled seconds the busiest device spent executing, at `spec`'s
+    /// clock.
+    pub fn makespan_sec(&self, spec: &FpgaSpec) -> f64 {
+        spec.cycles_to_sec(self.makespan_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_picks_least_loaded_with_low_index_ties() {
+        let mut pool = DevicePool::new(3);
+        assert_eq!(pool.admit(10.0), 0, "all idle: lowest index");
+        assert_eq!(pool.admit(1.0), 1);
+        assert_eq!(pool.admit(1.0), 2);
+        // Device 1 and 2 tie at 1.0 < 10.0: lowest index wins.
+        assert_eq!(pool.admit(5.0), 1);
+        assert_eq!(pool.admit(0.5), 2);
+    }
+
+    #[test]
+    fn complete_releases_booking_and_records_cycles() {
+        let mut pool = DevicePool::new(2);
+        let d = pool.admit(7.0);
+        pool.complete(d, 7.0, 1000);
+        let snap = pool.snapshot();
+        assert_eq!(snap[d].outstanding_workload, 0.0);
+        assert_eq!(snap[d].partitions, 1);
+        assert_eq!(snap[d].cycles, 1000);
+        assert_eq!(pool.makespan_cycles(), 1000);
+        assert_eq!(pool.total_cycles(), 1000);
+        // Completed devices become preferred again.
+        assert_eq!(pool.admit(1.0), d.min(1));
+    }
+
+    #[test]
+    fn overlapping_stream_spreads_over_all_devices() {
+        // Admissions overlap (nothing completes until the burst is in):
+        // equal workloads round-robin across the pool.
+        let mut pool = DevicePool::new(4);
+        let placed: Vec<usize> = (0..40).map(|_| pool.admit(1.0)).collect();
+        for &d in &placed {
+            pool.complete(d, 1.0, 10);
+        }
+        let snap = pool.snapshot();
+        assert!(snap.iter().all(|d| d.partitions == 10), "{snap:?}");
+        assert!((pool.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panic() {
+        DevicePool::new(0);
+    }
+}

@@ -1,0 +1,63 @@
+//! # serve — concurrent query serving over the FAST pipeline
+//!
+//! Everything below `serve` executes exactly one query per call. This crate
+//! is the layer the ROADMAP's north star asks for: a [`FastService`] owns a
+//! loaded data graph plus a pool of emulated FPGA devices and serves a
+//! *stream* of concurrent query submissions, amortising preparation across
+//! repeats and keeping the devices saturated:
+//!
+//! * [`cache`] — an LRU **plan cache** keyed on [`cst::PlanKey`] (query
+//!   fingerprint × graph epoch × planning options): a `ShardPlan` is a pure
+//!   function of `(q, g, tree, options)`, so repeated queries skip the
+//!   probe/boundary search entirely and reuse the planned decomposition;
+//! * [`devices`] — a [`DevicePool`] multiplexing CST
+//!   partitions across emulated cards by **shortest expected completion**
+//!   (the `W_CST` workload estimate of Section V-C is the cost model, as in
+//!   the paper's multi-FPGA extension);
+//! * [`service`] — admission control with **bounded in-flight depth**
+//!   (submissions block when the service is saturated — backpressure, not
+//!   unbounded queueing), worker threads running the decoupled
+//!   prepare/execute phases (`fast::prepare_partitions`), and
+//!   [`SessionHandle`]s streaming per-partition results back as kernels
+//!   drain;
+//! * [`metrics`] — per-query and service-level metrics ([`ServeReport`]):
+//!   sustained QPS, queue wait, p50/p99 latency, cache hit rate, per-device
+//!   utilisation.
+//!
+//! # Determinism
+//!
+//! Every per-query *result* (embedding count, partition sequence,
+//! per-partition counts) is a pure function of `(q, g, FastConfig)` —
+//! independent of worker count, device count, admission interleaving, and
+//! cache hits (a cached plan is bit-identical to the plan a cold run would
+//! compute). Only *placement and timing* vary with concurrency. The
+//! property tests in `tests/prop_serve.rs` enforce this.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graph_core::{benchmark_query, generators::{generate_ldbc, LdbcParams}};
+//! use serve::{FastService, ServeConfig};
+//!
+//! let g = generate_ldbc(&LdbcParams::with_scale_factor(0.05), 42);
+//! let service = FastService::new(g, ServeConfig::default());
+//! let a = service.submit(benchmark_query(0));
+//! let b = service.submit(benchmark_query(0)); // plan served from cache
+//! let (ra, rb) = (a.wait().unwrap(), b.wait().unwrap());
+//! assert_eq!(ra.embeddings, rb.embeddings);
+//! let report = service.shutdown();
+//! assert_eq!(report.completed, 2);
+//! ```
+
+pub mod cache;
+pub mod devices;
+pub mod metrics;
+pub mod service;
+
+pub use cache::{CacheStats, PlanCache};
+pub use devices::{DevicePool, DeviceStats};
+pub use metrics::ServeReport;
+pub use service::{
+    FastService, PartitionUpdate, QueryReport, ServeConfig, ServeError, SessionEvent,
+    SessionHandle,
+};

@@ -1,0 +1,129 @@
+//! Service-level metrics: the [`ServeReport`].
+
+use crate::cache::CacheStats;
+use crate::devices::DeviceStats;
+
+/// Nearest-rank percentile of an already **sorted** slice (`q` in
+/// `[0, 1]`); 0.0 for an empty slice.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Nearest-rank percentile of `samples` (any order; `q` in `[0, 1]`).
+/// Returns 0.0 for an empty slice. Sorts a copy — when several quantiles
+/// of the same set are needed, sort once and use the aggregate path.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    nearest_rank(&sorted, q)
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Aggregate view of a service's lifetime (or a window of it): produced by
+/// [`FastService::report`](crate::FastService::report) and
+/// [`FastService::shutdown`](crate::FastService::shutdown).
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Sessions admitted.
+    pub submitted: u64,
+    /// Sessions completed successfully.
+    pub completed: u64,
+    /// Sessions that failed (e.g. query exceeds the kernel register budget).
+    pub failed: u64,
+    /// Total embeddings across completed sessions.
+    pub total_embeddings: u64,
+    /// Plan-cache counters (hit rate, evictions).
+    pub cache: CacheStats,
+    /// Sustained throughput: completed sessions per second of serving wall
+    /// time (first submission → last completion).
+    pub qps: f64,
+    /// Serving wall time the QPS is normalised by.
+    pub wall_sec: f64,
+    /// Submit→done latency percentiles/mean (seconds, measured wall).
+    pub latency_p50: f64,
+    pub latency_p99: f64,
+    pub latency_mean: f64,
+    /// Admission-queue wait percentiles (seconds): submit → worker pickup.
+    pub queue_wait_p50: f64,
+    pub queue_wait_p99: f64,
+    /// Mean shard-planning wall per session, split by cache outcome. A
+    /// working cache shows `plan_hit_mean_sec` ≈ 0.
+    pub plan_hit_mean_sec: f64,
+    pub plan_miss_mean_sec: f64,
+    /// Per-device counters (partitions, modelled cycles, booked workload).
+    pub devices: Vec<DeviceStats>,
+    /// The busiest device's modelled execution seconds.
+    pub device_makespan_sec: f64,
+    /// Total modelled device-seconds across the pool.
+    pub device_busy_sec: f64,
+    /// Max/mean booked workload across devices (1.0 = perfectly balanced).
+    pub device_imbalance: f64,
+    /// High-water mark of concurrently admitted sessions.
+    pub max_in_flight: usize,
+}
+
+impl ServeReport {
+    /// Builds the latency/queue aggregates from raw samples. `latencies`,
+    /// `queue_waits`, `plan_hits`, `plan_misses` are per-session seconds.
+    pub(crate) fn aggregate(
+        &mut self,
+        latencies: &[f64],
+        queue_waits: &[f64],
+        plan_hits: &[f64],
+        plan_misses: &[f64],
+    ) {
+        // One sort per sample set, both quantiles read from it.
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        self.latency_p50 = nearest_rank(&sorted, 0.50);
+        self.latency_p99 = nearest_rank(&sorted, 0.99);
+        self.latency_mean = mean(latencies);
+        sorted.clear();
+        sorted.extend_from_slice(queue_waits);
+        sorted.sort_by(f64::total_cmp);
+        self.queue_wait_p50 = nearest_rank(&sorted, 0.50);
+        self.queue_wait_p99 = nearest_rank(&sorted, 0.99);
+        self.plan_hit_mean_sec = mean(plan_hits);
+        self.plan_miss_mean_sec = mean(plan_misses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+    }
+
+    #[test]
+    fn aggregate_fills_fields() {
+        let mut r = ServeReport::default();
+        r.aggregate(&[1.0, 2.0, 3.0], &[0.5], &[0.0, 0.0], &[1.0]);
+        assert_eq!(r.latency_p50, 2.0);
+        assert_eq!(r.latency_mean, 2.0);
+        assert_eq!(r.queue_wait_p99, 0.5);
+        assert_eq!(r.plan_hit_mean_sec, 0.0);
+        assert_eq!(r.plan_miss_mean_sec, 1.0);
+    }
+}

@@ -1,0 +1,744 @@
+//! The [`FastService`]: admission, sessions, workers, and reporting.
+//!
+//! # Life of a query
+//!
+//! 1. [`FastService::submit`] blocks while `max_in_flight` sessions are
+//!    already admitted (backpressure), then enqueues the submission and
+//!    returns a [`SessionHandle`].
+//! 2. A worker thread picks the submission up (queue wait ends), derives
+//!    the BFS tree / matching order / kernel plan **once**, and derives the
+//!    plan-cache key from the same tree — the cached-plan path never
+//!    recomputes the query fingerprint or tree.
+//! 3. On a cache hit the stored [`cst::ShardPlan`] rides into
+//!    [`fast::prepare_partitions`] through [`FastConfig::shard_plan`] and
+//!    the probe/boundary search is skipped; on a miss the freshly computed
+//!    plan is inserted for the next repeat.
+//! 4. Each partition streaming out of the prepare phase is booked onto the
+//!    device with the shortest expected completion ([`DevicePool`]), executed on the
+//!    emulated kernel, and its per-partition result count is sent to the
+//!    session handle immediately — callers see results as kernels drain.
+//! 5. The final [`QueryReport`] closes the session, service metrics are
+//!    folded in, and the admission slot is released.
+//!
+//! Serving executes every partition on the device pool (the multi-FPGA
+//! regime of Section VII-E); the single-run CPU-share scheduler
+//! (FAST-SHARE's δ) is not booked here — the devices are the scaled
+//! resource, and `run_fast` remains the one-shot path.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::devices::{DevicePool, DeviceStats};
+use crate::metrics::ServeReport;
+use cst::PlanKey;
+use fast::{prepare_partitions, run_kernel, CollectMode, FastConfig, KernelPlan, ShardPlanner};
+use graph_core::{path_based_order, select_root, BfsTree, Graph, QueryGraph, VertexId};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`FastService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Per-session FAST configuration (device spec, variant, CST options,
+    /// planner). [`FastConfig::shard_plan`] is overwritten per session by
+    /// the cache outcome.
+    pub fast: FastConfig,
+    /// Emulated FPGA devices partitions are multiplexed across.
+    pub devices: usize,
+    /// Host worker threads executing sessions.
+    pub workers: usize,
+    /// Plan-cache capacity (plans); 0 disables caching ("cold" serving).
+    pub cache_capacity: usize,
+    /// Bounded in-flight depth: [`FastService::submit`] blocks once this
+    /// many sessions are admitted but not yet completed.
+    pub max_in_flight: usize,
+    /// Epoch of the loaded graph, folded into every cache key. Bump it
+    /// when serving a different (or mutated) graph so stale plans can
+    /// never hit.
+    pub graph_epoch: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // Serving wants the planned pipeline: the auto planner is what the
+        // plan cache amortises, and per-query shard counts are chosen once
+        // then replayed from cache.
+        let fast = FastConfig {
+            shard_planner: ShardPlanner::Auto,
+            ..FastConfig::default()
+        };
+        ServeConfig {
+            fast,
+            devices: 2,
+            workers: 2,
+            cache_capacity: 64,
+            max_in_flight: 16,
+            graph_epoch: 0,
+        }
+    }
+}
+
+/// One partition's result, streamed to the session as its kernel drains.
+#[derive(Debug, Clone)]
+pub struct PartitionUpdate {
+    /// Position in the session's deterministic partition sequence.
+    pub index: usize,
+    /// Device the partition ran on.
+    pub device: usize,
+    /// Embeddings found in this partition.
+    pub embeddings: u64,
+    /// Modelled kernel cycles the partition cost.
+    pub kernel_cycles: u64,
+    /// Collected embeddings, when [`FastConfig::collect`] asks for them.
+    pub collected: Vec<Vec<VertexId>>,
+}
+
+/// Final per-session report.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Session id (submission order).
+    pub id: u64,
+    /// Total embeddings across partitions.
+    pub embeddings: u64,
+    /// Partitions executed.
+    pub partitions: usize,
+    /// Whether the shard plan came from the cache.
+    pub cache_hit: bool,
+    /// Shard-planning wall time (~0 on a hit).
+    pub plan_time: Duration,
+    /// Shards the plan decomposed the root set into.
+    pub pipeline_shards: usize,
+    /// Wall time from worker pickup to completion (build + partition +
+    /// inline emulated kernels).
+    pub service_time: Duration,
+    /// Wall time from submission to worker pickup.
+    pub queue_wait: Duration,
+    /// Wall time from submission to completion.
+    pub latency: Duration,
+    /// Total modelled kernel cycles across the session's partitions.
+    pub kernel_cycles: u64,
+    /// Modelled device-seconds of those cycles.
+    pub device_sec: f64,
+}
+
+/// Events a [`SessionHandle`] receives, in order: zero or more
+/// [`SessionEvent::Partition`]s, then exactly one `Done` or `Failed`.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// One partition finished on a device.
+    Partition(PartitionUpdate),
+    /// The session completed; final report.
+    Done(QueryReport),
+    /// The session failed (message from the planning/validation layer).
+    Failed(String),
+}
+
+/// Errors surfaced by [`SessionHandle::wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service reported a failure for this session.
+    Failed(String),
+    /// The service shut down before the session finished.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Failed(msg) => write!(f, "session failed: {msg}"),
+            ServeError::Disconnected => write!(f, "service shut down mid-session"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Caller-side handle of one submitted query.
+pub struct SessionHandle {
+    id: u64,
+    rx: mpsc::Receiver<SessionEvent>,
+}
+
+impl SessionHandle {
+    /// Session id (submission order, 0-based).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks for the next event; `None` once the session is over (after
+    /// `Done`/`Failed` was delivered) or the service shut down.
+    pub fn next_event(&self) -> Option<SessionEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Drains the session to completion, discarding partition updates.
+    pub fn wait(self) -> Result<QueryReport, ServeError> {
+        loop {
+            match self.rx.recv() {
+                Ok(SessionEvent::Done(report)) => return Ok(report),
+                Ok(SessionEvent::Failed(msg)) => return Err(ServeError::Failed(msg)),
+                Ok(SessionEvent::Partition(_)) => continue,
+                Err(_) => return Err(ServeError::Disconnected),
+            }
+        }
+    }
+}
+
+struct Submission {
+    id: u64,
+    query: QueryGraph,
+    submitted: Instant,
+    tx: mpsc::Sender<SessionEvent>,
+}
+
+#[derive(Default)]
+struct Gate {
+    in_flight: usize,
+    max_seen: usize,
+}
+
+/// Cap on each per-session sample vector. When full the vector is thinned
+/// to every other sample (later samples then accumulate at full rate —
+/// a mild recency bias), so memory stays bounded on a service that runs
+/// forever while percentiles stay representative.
+const SAMPLE_CAP: usize = 1 << 16;
+
+fn push_sample(samples: &mut Vec<f64>, value: f64) {
+    if samples.len() >= SAMPLE_CAP {
+        let mut keep = 0usize;
+        for i in (0..samples.len()).step_by(2) {
+            samples[keep] = samples[i];
+            keep += 1;
+        }
+        samples.truncate(keep);
+    }
+    samples.push(value);
+}
+
+#[derive(Default, Clone)]
+struct MetricsState {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    total_embeddings: u64,
+    latencies: Vec<f64>,
+    queue_waits: Vec<f64>,
+    plan_hits: Vec<f64>,
+    plan_misses: Vec<f64>,
+    first_submit: Option<Instant>,
+    last_done: Option<Instant>,
+}
+
+struct Inner {
+    graph: Arc<Graph>,
+    config: ServeConfig,
+    next_id: AtomicU64,
+    cache: Mutex<PlanCache>,
+    /// Keys whose plan is being computed right now (single-flight): a
+    /// concurrent identical cold query waits for the owner's probe instead
+    /// of re-running it.
+    pending_plans: Mutex<HashSet<PlanKey>>,
+    pending_cond: Condvar,
+    devices: Mutex<DevicePool>,
+    gate: Mutex<Gate>,
+    gate_cond: Condvar,
+    metrics: Mutex<MetricsState>,
+}
+
+/// A running query-serving service over one loaded data graph.
+pub struct FastService {
+    inner: Arc<Inner>,
+    // Behind a Mutex so `&FastService` is shareable across submitter
+    // threads regardless of `mpsc::Sender`'s `Sync`-ness; taken out on
+    // shutdown to hang the workers' `recv` up.
+    tx: Mutex<Option<mpsc::Sender<Submission>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FastService {
+    /// Loads `graph` into a service and spawns its worker pool. Accepts a
+    /// plain [`Graph`] or a shared [`Arc<Graph>`] — benchmarks spinning up
+    /// several services over one dataset should share the `Arc` instead of
+    /// deep-cloning the graph per service.
+    pub fn new(graph: impl Into<Arc<Graph>>, config: ServeConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.max_in_flight >= 1, "need in-flight depth >= 1");
+        let inner = Arc::new(Inner {
+            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            pending_plans: Mutex::new(HashSet::new()),
+            pending_cond: Condvar::new(),
+            devices: Mutex::new(DevicePool::new(config.devices)),
+            gate: Mutex::new(Gate::default()),
+            gate_cond: Condvar::new(),
+            metrics: Mutex::new(MetricsState::default()),
+            next_id: AtomicU64::new(0),
+            graph: graph.into(),
+            config,
+        });
+        let (tx, rx) = mpsc::channel::<Submission>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..inner.config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue itself.
+                    let sub = match rx.lock().expect("submission queue").recv() {
+                        Ok(sub) => sub,
+                        Err(_) => return,
+                    };
+                    // A panicking session must not kill the worker: its
+                    // admission slot is released by SlotGuard during the
+                    // unwind, its handle sees Disconnected (the event
+                    // sender drops), and the failure is counted here.
+                    let outcome = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| serve_one(&inner, sub)),
+                    );
+                    if outcome.is_err() {
+                        if let Ok(mut m) = inner.metrics.lock() {
+                            m.failed += 1;
+                            m.last_done = Some(Instant::now());
+                        }
+                    }
+                })
+            })
+            .collect();
+        FastService {
+            inner,
+            tx: Mutex::new(Some(tx)),
+            workers,
+        }
+    }
+
+    /// The loaded data graph.
+    pub fn graph(&self) -> &Graph {
+        self.inner.graph.as_ref()
+    }
+
+    /// Submits a query, **blocking while the service is at its in-flight
+    /// bound** (backpressure — a closed-loop client slows down instead of
+    /// growing an unbounded queue).
+    pub fn submit(&self, query: QueryGraph) -> SessionHandle {
+        {
+            let gate = self.inner.gate.lock().expect("gate");
+            let mut gate = self
+                .inner
+                .gate_cond
+                .wait_while(gate, |g| g.in_flight >= self.inner.config.max_in_flight)
+                .expect("gate");
+            gate.in_flight += 1;
+            gate.max_seen = gate.max_seen.max(gate.in_flight);
+        }
+        self.enqueue(query)
+    }
+
+    /// Non-blocking admission: returns the query back when the service is
+    /// saturated.
+    pub fn try_submit(&self, query: QueryGraph) -> Result<SessionHandle, QueryGraph> {
+        {
+            let mut gate = self.inner.gate.lock().expect("gate");
+            if gate.in_flight >= self.inner.config.max_in_flight {
+                return Err(query);
+            }
+            gate.in_flight += 1;
+            gate.max_seen = gate.max_seen.max(gate.in_flight);
+        }
+        Ok(self.enqueue(query))
+    }
+
+    fn enqueue(&self, query: QueryGraph) -> SessionHandle {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        {
+            let mut m = self.inner.metrics.lock().expect("metrics");
+            m.submitted += 1;
+            m.first_submit.get_or_insert(now);
+        }
+        let submission = Submission {
+            id,
+            query,
+            submitted: now,
+            tx,
+        };
+        self.tx
+            .lock()
+            .expect("sender")
+            .as_ref()
+            .expect("service is running")
+            .send(submission)
+            .expect("workers outlive the sender");
+        SessionHandle { id, rx }
+    }
+
+    /// A point-in-time service report (callable while serving). Each lock
+    /// is taken briefly in turn to snapshot its state; the sorting and
+    /// aggregation run with no lock held, so a report never stalls
+    /// admission or dispatch.
+    pub fn report(&self) -> ServeReport {
+        let metrics = self.inner.metrics.lock().expect("metrics").clone();
+        let cache = self.inner.cache.lock().expect("cache").stats();
+        let devices = self.inner.devices.lock().expect("devices").clone();
+        let max_seen = self.inner.gate.lock().expect("gate").max_seen;
+        assemble_report(&self.inner.config, &metrics, cache, &devices, max_seen)
+    }
+
+    /// Stops accepting submissions, drains in-flight sessions, joins the
+    /// workers, and returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        *self.tx.lock().expect("sender") = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.report()
+    }
+}
+
+impl Drop for FastService {
+    fn drop(&mut self) {
+        // `shutdown` already joined; otherwise detach cleanly by hanging
+        // up the queue so workers exit after draining it.
+        *self.tx.lock().expect("sender") = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn assemble_report(
+    config: &ServeConfig,
+    m: &MetricsState,
+    cache: CacheStats,
+    devices: &DevicePool,
+    max_in_flight: usize,
+) -> ServeReport {
+    let wall_sec = match (m.first_submit, m.last_done) {
+        (Some(a), Some(b)) => b.saturating_duration_since(a).as_secs_f64(),
+        _ => 0.0,
+    };
+    let device_stats: Vec<DeviceStats> = devices.snapshot();
+    let mut report = ServeReport {
+        submitted: m.submitted,
+        completed: m.completed,
+        failed: m.failed,
+        total_embeddings: m.total_embeddings,
+        cache,
+        qps: if wall_sec > 0.0 {
+            m.completed as f64 / wall_sec
+        } else {
+            0.0
+        },
+        wall_sec,
+        device_makespan_sec: devices.makespan_sec(&config.fast.spec),
+        device_busy_sec: config.fast.spec.cycles_to_sec(devices.total_cycles()),
+        device_imbalance: devices.imbalance(),
+        devices: device_stats,
+        max_in_flight,
+        ..ServeReport::default()
+    };
+    report.aggregate(&m.latencies, &m.queue_waits, &m.plan_hits, &m.plan_misses);
+    report
+}
+
+/// Executes one session on the calling worker thread.
+/// Removes a key from the single-flight set on drop — including on a
+/// panicking unwind, so a wedged owner can never block waiters forever.
+struct FlightGuard<'a> {
+    inner: &'a Inner,
+    key: PlanKey,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut pending) = self.inner.pending_plans.lock() {
+            pending.remove(&self.key);
+        }
+        self.inner.pending_cond.notify_all();
+    }
+}
+
+/// Releases a session's admission slot on drop — the only release path,
+/// so a panicking session can never leak its slot and wedge `submit`.
+struct SlotGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut gate) = self.inner.gate.lock() {
+            gate.in_flight = gate.in_flight.saturating_sub(1);
+        }
+        self.inner.gate_cond.notify_all();
+    }
+}
+
+fn serve_one(inner: &Inner, sub: Submission) {
+    // Admission slot released when this frame unwinds, panicking or not.
+    let _slot = SlotGuard { inner };
+    let picked = Instant::now();
+    let queue_wait = picked.duration_since(sub.submitted);
+    let q = &sub.query;
+    let g: &Graph = &inner.graph;
+
+    // Derive tree/order/kernel-plan once; the cache key reuses this tree.
+    let root = select_root(q, g);
+    let tree = BfsTree::new(q, root);
+    let order = path_based_order(q, &tree, g);
+    let kernel_plan = match KernelPlan::new(q, &order, &tree) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = sub.tx.send(SessionEvent::Failed(e.to_string()));
+            finish(inner, FinishOutcome::Failed);
+            return;
+        }
+    };
+
+    // Plan cache: hit → the stored plan skips the probe inside
+    // `prepare_partitions`; miss → the plan is computed *here* (the same
+    // `plan_pipeline_shards` the pipeline would call) and published to the
+    // cache immediately, before the session's build/execute starts.
+    // Misses are single-flight: a concurrent identical query waits only
+    // for the owner's planning (not its whole session), then reads the
+    // freshly inserted plan as a hit.
+    let mut config = inner.config.fast.clone();
+    let pipe_opts = config.pipeline_options(q.vertex_count());
+    let key = PlanKey::derive(q, &tree, &pipe_opts, inner.config.graph_epoch);
+    let (cached, flight) = if inner.config.cache_capacity > 0 {
+        let mut pending = inner.pending_plans.lock().expect("pending plans");
+        while pending.contains(&key) {
+            pending = inner.pending_cond.wait(pending).expect("pending plans");
+        }
+        match inner.cache.lock().expect("cache").get(&key) {
+            Some(plan) => (Some(plan), None),
+            None => {
+                pending.insert(key);
+                (None, Some(FlightGuard { inner, key }))
+            }
+        }
+    } else {
+        (inner.cache.lock().expect("cache").get(&key), None)
+    };
+    let cache_hit = cached.is_some();
+    let mut measured_plan_time = Duration::ZERO;
+    let plan = match cached {
+        Some(plan) => plan,
+        None => {
+            let t0 = Instant::now();
+            let roots = cst::root_candidates(q, g, &tree, pipe_opts.cst);
+            let plan = Arc::new(cst::plan_pipeline_shards(q, g, &tree, &pipe_opts, &roots));
+            measured_plan_time = t0.elapsed();
+            if inner.config.cache_capacity > 0 {
+                inner
+                    .cache
+                    .lock()
+                    .expect("cache")
+                    .insert(key, Arc::clone(&plan));
+            }
+            // Release the single-flight claim now that the plan is
+            // published: waiters wake straight into a hit while this
+            // session goes on to build and execute.
+            drop(flight);
+            plan
+        }
+    };
+    config.shard_plan = Some(plan);
+
+    let model = config.cycle_model();
+    let mut embeddings = 0u64;
+    let mut partitions = 0usize;
+    let mut kernel_cycles = 0u64;
+    let prep = prepare_partitions(q, g, &config, &tree, &order, &mut |job| {
+        let device = inner.devices.lock().expect("devices").admit(job.workload);
+        let out = run_kernel(&job.cst, &kernel_plan, config.spec.no, config.collect);
+        let cycles = config.variant.kernel_cycles(&model, out.counts);
+        inner
+            .devices
+            .lock()
+            .expect("devices")
+            .complete(device, job.workload, cycles);
+        embeddings += out.embeddings;
+        partitions += 1;
+        kernel_cycles += cycles;
+        let collected = if matches!(config.collect, CollectMode::Collect(_)) {
+            out.collected
+        } else {
+            Vec::new()
+        };
+        let _ = sub.tx.send(SessionEvent::Partition(PartitionUpdate {
+            index: job.index,
+            device,
+            embeddings: out.embeddings,
+            kernel_cycles: cycles,
+            collected,
+        }));
+    });
+    let now = Instant::now();
+    let report = QueryReport {
+        id: sub.id,
+        embeddings,
+        partitions,
+        cache_hit,
+        // ~0 on a hit (and on the replay inside `prepare_partitions`);
+        // the explicit probe/boundary-search wall on a miss.
+        plan_time: measured_plan_time + prep.plan_time,
+        pipeline_shards: prep.pipeline_shards,
+        service_time: now.duration_since(picked),
+        queue_wait,
+        latency: now.duration_since(sub.submitted),
+        kernel_cycles,
+        device_sec: config.spec.cycles_to_sec(kernel_cycles),
+    };
+    let _ = sub.tx.send(SessionEvent::Done(report.clone()));
+    finish(inner, FinishOutcome::Completed(report));
+}
+
+enum FinishOutcome {
+    Completed(QueryReport),
+    Failed,
+}
+
+/// Folds a session's outcome into the service metrics. The admission slot
+/// is released by the session's `SlotGuard`, not here.
+fn finish(inner: &Inner, outcome: FinishOutcome) {
+    let mut m = inner.metrics.lock().expect("metrics");
+    match outcome {
+        FinishOutcome::Completed(report) => {
+            m.completed += 1;
+            m.total_embeddings += report.embeddings;
+            push_sample(&mut m.latencies, report.latency.as_secs_f64());
+            push_sample(&mut m.queue_waits, report.queue_wait.as_secs_f64());
+            let plan_sec = report.plan_time.as_secs_f64();
+            if report.cache_hit {
+                push_sample(&mut m.plan_hits, plan_sec);
+            } else {
+                push_sample(&mut m.plan_misses, plan_sec);
+            }
+            m.last_done = Some(Instant::now());
+        }
+        FinishOutcome::Failed => {
+            m.failed += 1;
+            m.last_done = Some(Instant::now());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast::Variant;
+    use graph_core::generators::random_labelled_graph;
+    use graph_core::Label;
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            fast: {
+                let mut f = FastConfig::test_small(Variant::Sep);
+                f.shard_planner = ShardPlanner::Auto;
+                f
+            },
+            devices: 2,
+            workers: 2,
+            cache_capacity: 8,
+            max_in_flight: 4,
+            graph_epoch: 0,
+        }
+    }
+
+    fn triangle() -> QueryGraph {
+        QueryGraph::new(
+            vec![Label::new(0), Label::new(1), Label::new(1)],
+            &[(0, 1), (1, 2), (0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_repeats_with_cache_hits_and_identical_counts() {
+        let g = random_labelled_graph(60, 0.2, 2, 42);
+        let service = FastService::new(g, small_config());
+        let handles: Vec<SessionHandle> =
+            (0..6).map(|_| service.submit(triangle())).collect();
+        let reports: Vec<QueryReport> =
+            handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        let first = reports[0].embeddings;
+        assert!(reports.iter().all(|r| r.embeddings == first));
+        let final_report = service.shutdown();
+        assert_eq!(final_report.completed, 6);
+        assert_eq!(final_report.failed, 0);
+        // Six submissions of one query: at least the non-concurrent
+        // repeats hit (the first few may race the first insertion).
+        assert!(final_report.cache.hits >= 1, "{:?}", final_report.cache);
+        assert_eq!(final_report.total_embeddings, 6 * first);
+        assert!(final_report.qps > 0.0);
+    }
+
+    #[test]
+    fn partition_events_sum_to_the_final_count() {
+        let g = random_labelled_graph(60, 0.25, 2, 43);
+        let service = FastService::new(g, small_config());
+        let handle = service.submit(triangle());
+        let mut streamed = 0u64;
+        let mut updates = 0usize;
+        let report = loop {
+            match handle.next_event().expect("session alive") {
+                SessionEvent::Partition(u) => {
+                    assert!(u.device < 2);
+                    streamed += u.embeddings;
+                    updates += 1;
+                }
+                SessionEvent::Done(r) => break r,
+                SessionEvent::Failed(e) => panic!("failed: {e}"),
+            }
+        };
+        assert_eq!(streamed, report.embeddings);
+        assert_eq!(updates, report.partitions);
+        service.shutdown();
+    }
+
+    #[test]
+    fn oversized_query_fails_cleanly() {
+        // A path query longer than the kernel register budget.
+        let n = fast::MAX_KERNEL_QUERY + 1;
+        let labels: Vec<Label> = (0..n).map(|_| Label::new(0)).collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let q = QueryGraph::new(labels, &edges);
+        let Ok(q) = q else {
+            return; // query-size cap below the kernel cap: nothing to test
+        };
+        let g = random_labelled_graph(30, 0.2, 1, 44);
+        let service = FastService::new(g, small_config());
+        let err = service.submit(q).wait().unwrap_err();
+        assert!(matches!(err, ServeError::Failed(_)), "{err}");
+        let report = service.shutdown();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn try_submit_applies_backpressure_eventually_admits() {
+        let g = random_labelled_graph(40, 0.2, 2, 45);
+        let mut config = small_config();
+        config.max_in_flight = 1;
+        config.workers = 1;
+        let service = FastService::new(g, config);
+        let first = service.submit(triangle());
+        // The slot may free at any moment; what must hold is that a
+        // rejection returns the query intact and a retry loop succeeds.
+        let mut query = triangle();
+        let second = loop {
+            match service.try_submit(query) {
+                Ok(h) => break h,
+                Err(back) => {
+                    query = back;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        let a = first.wait().unwrap().embeddings;
+        let b = second.wait().unwrap().embeddings;
+        assert_eq!(a, b);
+        let report = service.shutdown();
+        assert!(report.max_in_flight <= 1);
+    }
+}

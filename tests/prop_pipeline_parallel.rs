@@ -149,6 +149,7 @@ proptest! {
                     shards: Some(shards),
                     planner,
                     cst: CstOptions::default(),
+                    ..PipelineOptions::default()
                 };
                 let (merged, stats) = build_cst_sharded(&q, &g, &tree, &opts);
                 prop_assert!(merged.validate(&q).is_ok());
@@ -350,6 +351,7 @@ fn planner_edge_cases_end_to_end() {
             shards: Some(8),
             planner,
             cst: CstOptions::default(),
+            ..PipelineOptions::default()
         };
         let stats = for_each_shard_cst(&absent, &g, &tree, &opts, |s| {
             assert!(s.cst.any_empty());
@@ -366,6 +368,7 @@ fn planner_edge_cases_end_to_end() {
             shards: Some(roots * 5),
             planner,
             cst: CstOptions::default(),
+            ..PipelineOptions::default()
         };
         let (merged, stats) = build_cst_sharded(&triangle, &g, &tree, &opts);
         assert!(stats.shards <= roots, "{planner}: clamped to the root count");

@@ -1,0 +1,206 @@
+//! Property-based tests of the serving subsystem (`serve`): cache-hit
+//! serves are bit-identical to cold runs for every planner, and concurrent
+//! serving is deterministic in its per-query results regardless of device
+//! count, worker count, and admission interleaving.
+
+use fast::{FastConfig, ShardPlanner, Variant};
+use graph_core::generators::random_labelled_graph;
+use graph_core::{Graph, Label, QueryGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::{FastService, ServeConfig};
+use std::sync::Arc;
+
+/// Seeded random connected query (tree skeleton + extra edges).
+fn random_query(n: usize, seed: u64) -> QueryGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    use rand::Rng;
+    let labels: Vec<Label> = (0..n).map(|_| Label::new(rng.gen_range(0..2))).collect();
+    let mut edges = Vec::new();
+    for i in 1..n {
+        edges.push((rng.gen_range(0..i), i));
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(0.3) {
+                edges.push((a, b));
+            }
+        }
+    }
+    QueryGraph::new(labels, &edges).expect("connected by construction")
+}
+
+fn arb_query() -> impl Strategy<Value = QueryGraph> {
+    (3usize..=5, any::<u64>()).prop_map(|(n, seed)| random_query(n, seed))
+}
+
+fn service_config(planner: ShardPlanner, devices: usize, workers: usize) -> ServeConfig {
+    let mut fast = FastConfig::test_small(Variant::Sep);
+    fast.shard_planner = planner;
+    ServeConfig {
+        fast,
+        devices,
+        workers,
+        cache_capacity: 16,
+        max_in_flight: 8,
+        graph_epoch: 0,
+    }
+}
+
+/// Serves `q` twice on a fresh service (cold, then cache-hit) and returns
+/// the two reports.
+fn cold_then_hit(
+    g: &Arc<Graph>,
+    q: &QueryGraph,
+    planner: ShardPlanner,
+) -> (serve::QueryReport, serve::QueryReport) {
+    let service = FastService::new(Arc::clone(g), service_config(planner, 2, 1));
+    let cold = service.submit(q.clone()).wait().expect("cold run");
+    let hit = service.submit(q.clone()).wait().expect("warm run");
+    let report = service.shutdown();
+    assert_eq!(report.completed, 2);
+    (cold, hit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A cache-hit serve returns bit-identical embedding counts — and an
+    /// identical partition sequence — to the cold run, for every planner.
+    #[test]
+    fn cache_hit_is_bit_identical_to_cold_for_every_planner(
+        q in arb_query(),
+        graph_seed in 0u64..200,
+    ) {
+        let g = Arc::new(random_labelled_graph(45, 0.18, 2, graph_seed));
+        for planner in [
+            ShardPlanner::Contiguous,
+            ShardPlanner::WorkloadBalanced,
+            ShardPlanner::OverlapAware,
+            ShardPlanner::Auto,
+        ] {
+            let (cold, hit) = cold_then_hit(&g, &q, planner);
+            prop_assert!(!cold.cache_hit, "{planner}: first run must miss");
+            prop_assert!(hit.cache_hit, "{planner}: second run must hit");
+            prop_assert_eq!(
+                cold.embeddings, hit.embeddings,
+                "{} changed the count on a cache hit", planner
+            );
+            prop_assert_eq!(
+                cold.partitions, hit.partitions,
+                "{} changed the partition sequence on a cache hit", planner
+            );
+            prop_assert_eq!(
+                cold.pipeline_shards, hit.pipeline_shards,
+                "{} changed the shard decomposition on a cache hit", planner
+            );
+            prop_assert_eq!(
+                cold.kernel_cycles, hit.kernel_cycles,
+                "{} changed the modelled kernel work on a cache hit", planner
+            );
+        }
+    }
+
+    /// Concurrent sessions over a fixed seeded query set produce a
+    /// deterministic per-query result set regardless of device count,
+    /// worker count, and interleaving.
+    #[test]
+    fn concurrent_serving_is_deterministic_across_fleets(
+        graph_seed in 0u64..100,
+        query_seed in any::<u64>(),
+    ) {
+        let g = Arc::new(random_labelled_graph(50, 0.18, 2, graph_seed));
+        // A fixed, seeded query workload (with repeats).
+        let queries: Vec<QueryGraph> = {
+            let mut rng = StdRng::seed_from_u64(query_seed);
+            use rand::Rng;
+            let distinct: Vec<QueryGraph> = (0..3)
+                .map(|i| random_query(3 + i % 3, query_seed.wrapping_add(i as u64)))
+                .collect();
+            (0..8)
+                .map(|_| distinct[rng.gen_range(0..distinct.len())].clone())
+                .collect()
+        };
+
+        let mut reference: Option<Vec<u64>> = None;
+        for (devices, workers) in [(1usize, 1usize), (2, 4), (4, 2)] {
+            let service = FastService::new(
+                Arc::clone(&g),
+                service_config(ShardPlanner::Auto, devices, workers),
+            );
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| service.submit(q.clone()))
+                .collect();
+            let counts: Vec<u64> = handles
+                .into_iter()
+                .map(|h| h.wait().expect("session").embeddings)
+                .collect();
+            let report = service.shutdown();
+            prop_assert_eq!(report.completed as usize, queries.len());
+            match &reference {
+                None => reference = Some(counts),
+                Some(r) => prop_assert_eq!(
+                    r,
+                    &counts,
+                    "devices={} workers={} changed per-query results",
+                    devices,
+                    workers
+                ),
+            }
+        }
+    }
+}
+
+/// The serve path agrees with the one-shot `run_fast` path on the final
+/// count: the decoupled prepare/execute phases must not change the answer.
+#[test]
+fn serve_agrees_with_run_fast() {
+    let g = random_labelled_graph(60, 0.2, 2, 77);
+    let q = QueryGraph::new(
+        vec![Label::new(0), Label::new(1), Label::new(1)],
+        &[(0, 1), (1, 2), (0, 2)],
+    )
+    .unwrap();
+    let oneshot = fast::run_fast(&q, &g, &FastConfig::test_small(Variant::Sep))
+        .expect("one-shot run");
+    let service = FastService::new(g, service_config(ShardPlanner::Auto, 2, 2));
+    let served = service.submit(q).wait().expect("served run");
+    assert_eq!(served.embeddings, oneshot.embeddings);
+    service.shutdown();
+}
+
+/// Backpressure bound: with `max_in_flight = 2`, the service never admits
+/// more than two concurrent sessions even under a burst of blocking
+/// submitters.
+#[test]
+fn in_flight_depth_is_bounded() {
+    let g = random_labelled_graph(50, 0.25, 2, 99);
+    let q = QueryGraph::new(
+        vec![Label::new(0), Label::new(1), Label::new(1)],
+        &[(0, 1), (1, 2), (0, 2)],
+    )
+    .unwrap();
+    let mut config = service_config(ShardPlanner::Auto, 2, 4);
+    config.max_in_flight = 2;
+    let service = FastService::new(g, config);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let service = &service;
+            let q = q.clone();
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    service.submit(q.clone()).wait().expect("session");
+                }
+            });
+        }
+    });
+    let report = service.shutdown();
+    assert_eq!(report.completed, 12);
+    assert!(
+        report.max_in_flight <= 2,
+        "admission exceeded the bound: {}",
+        report.max_in_flight
+    );
+}
