@@ -20,6 +20,16 @@
 //!   *this* machine, reported for honesty: on a single-core CI container
 //!   threads time-share and the wall cannot improve.
 //!
+//! Probing planners additionally run a **seeded vs cold** comparison
+//! (`FastConfig::seed_from_probe` on vs off): seeded builds start from the
+//! probe's memoised candidate space, so the plan column (the probe charged
+//! as *overhead*, `FastReport::modeled_plan_overhead_sec`) collapses to 0
+//! and the per-shard top-down scans disappear. The seeded-vs-cold bar is
+//! asserted on the **deterministic** scan-work counter
+//! (`FastReport::build_topdown_entries` — the probe cost is identical on
+//! both sides, so comparing the builds' scan work compares total prepare
+//! work), with the measured build CPU seconds reported alongside.
+//!
 //! Embedding counts are asserted identical to the sequential pipeline at
 //! every thread count and planner (the pipeline's correctness bar), and
 //! the `Auto` planner's modelled prepare is asserted ≤ the contiguous
@@ -44,14 +54,27 @@ pub struct Row {
     pub embeddings: u64,
     /// Modelled overlapped host preparation seconds (build ∥ partition).
     pub modeled_prepare_sec: f64,
-    /// Modelled shard-planning seconds (probe; outside the prepare model).
+    /// Modelled shard-planning *overhead* seconds: the probe charged only
+    /// when its candidate space was not consumed by seeded builds
+    /// (`FastReport::modeled_plan_overhead_sec`) — ~0 for seeded rows.
     pub modeled_plan_sec: f64,
     /// Modelled end-to-end elapsed seconds.
     pub modeled_total_sec: f64,
     /// Measured wall seconds of the build phase on this machine.
     pub build_wall_sec: f64,
-    /// Measured CPU seconds spent building (total work across shards).
+    /// Measured CPU seconds spent building (total work across shards),
+    /// with seeding on (the default).
     pub build_cpu_sec: f64,
+    /// Measured CPU build seconds with seeding **off** (cold top-down
+    /// scans per shard); equals [`build_cpu_sec`](Self::build_cpu_sec) for
+    /// the contiguous planner, which never probes.
+    pub build_cpu_cold_sec: f64,
+    /// Phase-1 scan work across shard builds with seeding on
+    /// (deterministic; 0 when every shard was seeded).
+    pub topdown_entries: usize,
+    /// Phase-1 scan work with seeding off — what the probe's single pass
+    /// replaces.
+    pub cold_topdown_entries: usize,
 }
 
 /// Thread counts swept (the paper's host is an 8-core Xeon).
@@ -85,9 +108,12 @@ pub fn modeled_prepare_sec(r: &FastReport) -> f64 {
 /// Runs the planner × thread sweep on `dataset` over `queries`.
 ///
 /// # Panics
-/// Panics if any (planner, thread count) changes the embedding count, or
-/// if the auto planner's modelled prepare exceeds the contiguous
-/// planner's on any query at any thread count.
+/// Panics if any (planner, thread count) changes the embedding count, if
+/// the auto planner's modelled prepare exceeds the contiguous planner's on
+/// any query at any thread count, or if a seeded run's prepare scan work
+/// exceeds the cold run's on any query (the probe-seeded build bar: with
+/// the probe identical on both sides, seeded builds must never scan more
+/// than cold ones — and must not scan at all when every shard seeded).
 pub fn run(cache: &mut DatasetCache, dataset: DatasetId, queries: &[usize]) -> Vec<Row> {
     let g = cache.get(dataset);
     let mut rows = Vec::new();
@@ -106,6 +132,9 @@ pub fn run(cache: &mut DatasetCache, dataset: DatasetId, queries: &[usize]) -> V
             let mut total = 0.0f64;
             let mut build_wall = 0.0f64;
             let mut build_cpu = 0.0f64;
+            let mut build_cpu_cold = 0.0f64;
+            let mut topdown = 0usize;
+            let mut cold_topdown = 0usize;
             let mut shards: Vec<usize> = Vec::new();
             for &qi in queries {
                 let q = benchmark_query(qi);
@@ -126,11 +155,48 @@ pub fn run(cache: &mut DatasetCache, dataset: DatasetId, queries: &[usize]) -> V
                 }
                 embeddings += report.embeddings;
                 prepare += q_prepare;
-                plan += report.modeled_plan_sec;
+                plan += report.modeled_plan_overhead_sec();
                 total += report.modeled_total_sec();
                 build_wall += report.build_time.as_secs_f64();
                 build_cpu += report.build_cpu_time.as_secs_f64();
+                topdown += report.build_topdown_entries;
                 shards.push(report.pipeline_shards);
+                if planner == ShardPlanner::Contiguous || threads == 1 {
+                    // Seeding is a no-op without a probe (the contiguous
+                    // planner never probes; threads == 1 takes the
+                    // sequential, unplanned flow): the cold columns are the
+                    // run itself — rerunning would recompute identical
+                    // numbers.
+                    build_cpu_cold += report.build_cpu_time.as_secs_f64();
+                    cold_topdown += report.build_topdown_entries;
+                } else {
+                    // The seeded-vs-cold bar: rerun with seeding disabled.
+                    let mut cold_config = config.clone();
+                    cold_config.seed_from_probe = false;
+                    let cold = fast::run_fast(&q, g, &cold_config).unwrap();
+                    assert_eq!(
+                        cold.embeddings, report.embeddings,
+                        "{planner} q{qi}: seeding changed the count"
+                    );
+                    assert_eq!(cold.pipeline_shards, report.pipeline_shards);
+                    assert!(
+                        report.build_topdown_entries <= cold.build_topdown_entries,
+                        "{planner} q{qi} at {threads} threads: seeded prepare scanned \
+                         more than cold ({} > {})",
+                        report.build_topdown_entries,
+                        cold.build_topdown_entries,
+                    );
+                    if report.seeded_shards == report.pipeline_shards
+                        && cold.build_topdown_entries > 0
+                    {
+                        assert_eq!(
+                            report.build_topdown_entries, 0,
+                            "{planner} q{qi}: fully seeded build still scanned"
+                        );
+                    }
+                    build_cpu_cold += cold.build_cpu_time.as_secs_f64();
+                    cold_topdown += cold.build_topdown_entries;
+                }
             }
             if let Some(first) = rows.first() {
                 let first: &Row = first;
@@ -155,6 +221,9 @@ pub fn run(cache: &mut DatasetCache, dataset: DatasetId, queries: &[usize]) -> V
                 modeled_total_sec: total,
                 build_wall_sec: build_wall,
                 build_cpu_sec: build_cpu,
+                build_cpu_cold_sec: build_cpu_cold,
+                topdown_entries: topdown,
+                cold_topdown_entries: cold_topdown,
             });
         }
     }
@@ -174,10 +243,13 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
         "shards",
         "modelled prepare",
         "speedup",
-        "plan",
+        "plan overhead",
         "modelled total",
         "build wall (this host)",
         "build cpu",
+        "build cpu (cold)",
+        "topdown scans",
+        "topdown scans (cold)",
         "#embeddings",
     ]
     .iter()
@@ -196,12 +268,16 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
                 crate::harness::fmt_time(r.modeled_total_sec),
                 crate::harness::fmt_time(r.build_wall_sec),
                 crate::harness::fmt_time(r.build_cpu_sec),
+                crate::harness::fmt_time(r.build_cpu_cold_sec),
+                r.topdown_entries.to_string(),
+                r.cold_topdown_entries.to_string(),
                 r.embeddings.to_string(),
             ]
         })
         .collect();
     format!(
-        "Host-pipeline scaling on {dataset} (sharded CST build + partition, contiguous {} shards vs auto-planned)\n{}",
+        "Host-pipeline scaling on {dataset} (sharded CST build + partition, contiguous {} shards vs auto-planned; \
+         auto builds are probe-seeded — 'cold' columns rerun them with seeding off)\n{}",
         SHARDS,
         crate::harness::render_table(&header, &body)
     )
@@ -210,6 +286,50 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The probe-seeded build acceptance bar on the hostscale target:
+    /// auto-planned (probing) rows build from the probe's candidate space —
+    /// zero top-down scan work where the cold reruns scan millions of
+    /// entries — so the probe is absorbed (plan overhead 0) and per-query
+    /// prepare work strictly drops (`run` itself asserts the per-query
+    /// seeded ≤ cold bar). Measured build CPU gets a generous noise margin;
+    /// the deterministic counters carry the hard claim.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "slow in debug: full figure run; covered by the release-mode CI test step"
+    )]
+    fn seeded_prepare_beats_cold_prepare() {
+        let mut cache = DatasetCache::new();
+        let rows = run(&mut cache, DatasetId::Dg03, &QUERIES);
+        // threads == 1 runs the sequential (unplanned, unseeded) flow —
+        // only the pipelined rows carry a probe to seed from.
+        for r in rows
+            .iter()
+            .filter(|r| r.planner != ShardPlanner::Contiguous && r.threads > 1)
+        {
+            assert_eq!(
+                r.topdown_entries, 0,
+                "{} at {} threads: seeded builds must not scan top-down",
+                r.planner, r.threads
+            );
+            assert!(
+                r.cold_topdown_entries > 0,
+                "{} at {} threads: cold builds scan top-down",
+                r.planner, r.threads
+            );
+            assert_eq!(
+                r.modeled_plan_sec, 0.0,
+                "{} at {} threads: the probe is absorbed into seeded builds",
+                r.planner, r.threads
+            );
+            assert!(
+                r.build_cpu_sec <= r.build_cpu_cold_sec * 1.10,
+                "{} at {} threads: seeded build CPU {:.4}s vs cold {:.4}s",
+                r.planner, r.threads, r.build_cpu_sec, r.build_cpu_cold_sec
+            );
+        }
+    }
 
     #[test]
     fn counts_identical_and_modeled_prepare_monotone() {

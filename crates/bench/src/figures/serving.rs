@@ -180,9 +180,11 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
         "cold QPS",
         "cold p50",
         "cold p99",
+        "cold devq p50/p99",
         "warm QPS",
         "warm p50",
         "warm p99",
+        "warm devq p50/p99",
         "hit rate",
         "plan miss",
         "plan hit",
@@ -199,9 +201,19 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
                 format!("{:.1}", r.cold.report.qps),
                 ms(r.cold.report.latency_p50),
                 ms(r.cold.report.latency_p99),
+                format!(
+                    "{}/{}",
+                    ms(r.cold.report.device_queue_p50),
+                    ms(r.cold.report.device_queue_p99)
+                ),
                 format!("{:.1}", r.warm.report.qps),
                 ms(r.warm.report.latency_p50),
                 ms(r.warm.report.latency_p99),
+                format!(
+                    "{}/{}",
+                    ms(r.warm.report.device_queue_p50),
+                    ms(r.warm.report.device_queue_p99)
+                ),
                 format!("{:.0}%", r.warm.report.cache.hit_rate() * 100.0),
                 ms(r.warm.report.plan_miss_mean_sec),
                 ms(r.warm.report.plan_hit_mean_sec),
@@ -209,7 +221,8 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
         })
         .collect();
     format!(
-        "Serving throughput-latency on {dataset} (closed loop over q{:?}, cold = no plan cache, warm = LRU 64)\n{}",
+        "Serving throughput-latency on {dataset} (closed loop over q{:?}, cold = no plan cache, warm = LRU 64; \
+         latency percentiles fold in the modelled device queueing delay, broken out in the devq columns)\n{}",
         QUERY_MIX,
         crate::harness::render_table(&header, &body)
     )

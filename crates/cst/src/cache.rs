@@ -83,7 +83,10 @@ impl PipelineOptions {
     /// Fingerprint of every knob the shard plan depends on. `threads` is
     /// deliberately excluded: plans are thread-count independent (the
     /// pipeline's determinism contract), so runs at different thread counts
-    /// share cache entries.
+    /// share cache entries. `seed_builds` is excluded for the same reason —
+    /// seeding changes how shard builds *execute* (probe-restricted vs cold
+    /// top-down), never the plan or any result, so seeded and cold runs
+    /// share cache entries too.
     pub fn plan_fingerprint(&self) -> u64 {
         let mut f = Fingerprint::new();
         f.mix(self.shards.map(|s| s as u64 + 1).unwrap_or(0));
@@ -240,6 +243,22 @@ mod tests {
         };
         let b = PipelineOptions {
             threads: 8,
+            ..PipelineOptions::default()
+        };
+        assert_eq!(a.plan_fingerprint(), b.plan_fingerprint());
+    }
+
+    #[test]
+    fn seeding_does_not_change_the_key() {
+        // Seeded and cold builds are bit-identical, so they must share
+        // cache entries (a plan cached by a seeded run replays for a cold
+        // one and vice versa).
+        let a = PipelineOptions {
+            seed_builds: true,
+            ..PipelineOptions::default()
+        };
+        let b = PipelineOptions {
+            seed_builds: false,
             ..PipelineOptions::default()
         };
         assert_eq!(a.plan_fingerprint(), b.plan_fingerprint());

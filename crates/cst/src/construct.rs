@@ -70,6 +70,12 @@ pub struct BuildStats {
     pub removed_by_refine: Vec<usize>,
     /// Total directed adjacency entries in the final CST.
     pub adjacency_entries: usize,
+    /// Neighbour visits (each a candidate filter evaluation) of the
+    /// top-down pass — the phase-1 scan work, in the same unit as
+    /// `RootProfile::probe_entries`. **0 for seeded builds**
+    /// ([`build_cst_seeded`]), which restrict a memoised candidate space
+    /// instead of re-scanning the graph.
+    pub topdown_entries: usize,
 }
 
 /// Builds the CST of `q` over `g` with default (strongest) pruning.
@@ -119,6 +125,19 @@ pub fn build_cst_with_stats(
     build_cst_from_roots(q, g, tree, options, roots)
 }
 
+/// The memoised phase-1 output handed to a seeded build: per query vertex,
+/// exactly the sorted candidate list the top-down pass of
+/// [`build_cst_from_roots`] would produce for the corresponding root chunk.
+/// Produced by `RootProfile::seed_chunks` (the planner's probe already ran
+/// the global top-down pass; restricting its candidate space to one shard's
+/// roots is an integer sweep, not a filtered graph scan).
+#[derive(Debug, Clone, Default)]
+pub struct TopDownSeed {
+    /// Sorted, deduplicated candidates per query vertex (indexed by query
+    /// vertex index; the tree root's entry is the shard's root chunk).
+    pub candidates: Vec<Vec<VertexId>>,
+}
+
 /// Builds the CST whose root candidate set is exactly `roots` (which must be
 /// sorted, deduplicated, and a subset of [`root_candidates`]). Phases 2-3 of
 /// Algorithm 1 run unchanged; only the root seeding differs. With the full
@@ -141,11 +160,7 @@ pub fn build_cst_from_roots(
     let words = g.vertex_count().div_ceil(64);
     let mut member: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
     let mut candidates: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    let mut stats = BuildStats {
-        candidates_before_refine: vec![0; n],
-        removed_by_refine: vec![0; n],
-        adjacency_entries: 0,
-    };
+    let mut topdown_entries = 0usize;
 
     let set = |bits: &mut [u64], v: VertexId| bits[v.index() / 64] |= 1 << (v.index() % 64);
     let test = |bits: &[u64], v: VertexId| bits[v.index() / 64] >> (v.index() % 64) & 1 == 1;
@@ -176,6 +191,7 @@ pub fn build_cst_from_roots(
         let mut cands = Vec::new();
         for &vp in &candidates[up.index()] {
             for &w in g.neighbors(vp) {
+                topdown_entries += 1;
                 if !test(&member_u, w) && passes(filter, g, w, &mut scratch) {
                     set(&mut member_u, w);
                     cands.push(w);
@@ -186,9 +202,67 @@ pub fn build_cst_from_roots(
         member[u.index()] = member_u;
         candidates[u.index()] = cands;
     }
+    refine_and_materialise(q, g, tree, options, candidates, member, topdown_entries)
+}
+
+/// Builds the CST from a precomputed phase-1 candidate space: phases 2-3 of
+/// Algorithm 1 (bottom-up refinement, adjacency materialisation for every
+/// query edge) run unchanged on `seed.candidates` — exactly what the
+/// top-down pass of [`build_cst_from_roots`] would have produced, so the
+/// result is **bit-identical** to the unseeded build
+/// (`tests/prop_seeded_build.rs`). The seed must come from a probe of the
+/// *same* `(q, g, tree, options)` (the pipeline checks the plan's
+/// provenance fingerprint before seeding); note that the adjacency — tree
+/// and non-tree edges alike — is re-materialised from the graph here: the
+/// probe's stride-sampled non-tree edge *samples* are a counting estimate
+/// and are never used as exact candidates.
+pub fn build_cst_seeded(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: CstOptions,
+    seed: TopDownSeed,
+) -> (Cst, BuildStats) {
+    let n = q.vertex_count();
+    assert_eq!(seed.candidates.len(), n, "seed covers every query vertex");
+    let words = g.vertex_count().div_ceil(64);
+    let mut member: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    let set = |bits: &mut [u64], v: VertexId| bits[v.index() / 64] |= 1 << (v.index() % 64);
+    for (u, cands) in seed.candidates.iter().enumerate() {
+        debug_assert!(cands.windows(2).all(|w| w[0] < w[1]), "seed sorted+dedup");
+        for &v in cands {
+            set(&mut member[u], v);
+        }
+    }
+    refine_and_materialise(q, g, tree, options, seed.candidates, member, 0)
+}
+
+/// Phases 2-3 of Algorithm 1, shared by the scanning and seeded entry
+/// points: bottom-up refinement over the phase-1 candidate sets (with their
+/// membership bitmaps), then adjacency materialisation for every directed
+/// query edge.
+fn refine_and_materialise(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: CstOptions,
+    mut candidates: Vec<Vec<VertexId>>,
+    mut member: Vec<Vec<u64>>,
+    topdown_entries: usize,
+) -> (Cst, BuildStats) {
+    let n = q.vertex_count();
+    let mut stats = BuildStats {
+        candidates_before_refine: vec![0; n],
+        removed_by_refine: vec![0; n],
+        adjacency_entries: 0,
+        topdown_entries,
+    };
     for (u, cands) in candidates.iter().enumerate() {
         stats.candidates_before_refine[u] = cands.len();
     }
+
+    let set = |bits: &mut [u64], v: VertexId| bits[v.index() / 64] |= 1 << (v.index() % 64);
+    let test = |bits: &[u64], v: VertexId| bits[v.index() / 64] >> (v.index() % 64) & 1 == 1;
 
     // --- Phase 2: bottom-up refinement (the paper runs a single pass;
     //     extra passes approximate DAF's CS). ---

@@ -38,8 +38,8 @@ pub mod structure;
 pub mod workload;
 
 pub use construct::{
-    build_cst, build_cst_from_roots, build_cst_with_stats, root_candidates, BuildStats,
-    CstOptions,
+    build_cst, build_cst_from_roots, build_cst_seeded, build_cst_with_stats, root_candidates,
+    BuildStats, CstOptions, TopDownSeed,
 };
 pub use enumerate::{
     count_embeddings, enumerate_embeddings, EnumerationStats, MatchPlan,
@@ -56,7 +56,7 @@ pub use pipeline::{
 };
 pub use planner::{
     estimated_duplication, estimated_partition_ratio, plan_pipeline_shards, plan_shards,
-    PlannerConfig, RootProfile, ShardPlan, ShardPlanner,
+    PlannerConfig, RootProfile, SeedMasks, ShardPlan, ShardPlanner,
 };
 pub use structure::{CsrAdj, Cst};
 pub use workload::{estimate_workload, WorkloadEstimate};

@@ -38,13 +38,15 @@
 //! rooted in the shard. Summed (or merged) embedding counts are identical
 //! to the sequential pipeline's.
 
-use crate::construct::{build_cst_from_roots, root_candidates, BuildStats, CstOptions};
-use crate::planner::{plan_pipeline_shards, ShardPlan, ShardPlanner};
+use crate::construct::{
+    build_cst_from_roots, build_cst_seeded, root_candidates, BuildStats, CstOptions,
+};
+use crate::planner::{plan_pipeline_shards, RootProfile, SeedMasks, ShardPlan, ShardPlanner};
 use crate::structure::{CsrAdj, Cst};
 use crate::workload::estimate_workload;
 use graph_core::{BfsTree, Graph, QueryGraph, QueryVertexId, VertexId};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default shard count. Deliberately **independent of the thread count** so
@@ -78,6 +80,15 @@ pub struct PipelineOptions {
     /// keeps the calibrated constant ρ. Thread-count independent by
     /// construction (a device property).
     pub partition_hint: Option<usize>,
+    /// Seed shard builds from the plan's probe when one is available
+    /// (`RootProfile::seed_chunks`): each shard starts from the probed
+    /// phase-1 candidate space restricted to its roots and only performs
+    /// refinement plus adjacency materialisation, instead of a full
+    /// top-down scan. Results are **bit-identical** either way
+    /// (`tests/prop_seeded_build.rs`), so — like `threads` — this knob is
+    /// excluded from the plan fingerprint. Default `true`; disable to
+    /// measure the cold path.
+    pub seed_builds: bool,
 }
 
 impl Default for PipelineOptions {
@@ -88,6 +99,7 @@ impl Default for PipelineOptions {
             planner: ShardPlanner::Contiguous,
             cst: CstOptions::default(),
             partition_hint: None,
+            seed_builds: true,
         }
     }
 }
@@ -101,6 +113,7 @@ impl PipelineOptions {
             planner: ShardPlanner::Contiguous,
             cst,
             partition_hint: None,
+            seed_builds: true,
         }
     }
 
@@ -124,6 +137,9 @@ pub struct ShardReport {
     pub adjacency_entries: usize,
     /// Estimated embeddings in the shard CST (`W_CST`); exposes shard skew.
     pub workload: f64,
+    /// Whether this shard was built from the probe's memoised candidate
+    /// space (`build_cst_seeded`) instead of a cold top-down scan.
+    pub seeded: bool,
 }
 
 /// Aggregate statistics of a sharded pipeline run.
@@ -138,6 +154,10 @@ pub struct PipelineStats {
     /// Wall time spent planning (root probe + boundary search); zero for
     /// the contiguous planner.
     pub plan_time: Duration,
+    /// Wall time spent deriving per-shard seeds from the probe's candidate
+    /// space (`RootProfile::seed_chunks` — the integer mask sweep); zero
+    /// when builds run cold.
+    pub seed_time: Duration,
     /// Worker threads used.
     pub threads: usize,
     /// Total root candidates (over all shards).
@@ -153,6 +173,19 @@ pub struct PipelineStats {
     /// the sequential build's because interior candidates shared by several
     /// shards are re-derived per shard.
     pub build_cpu: Duration,
+    /// The probe-seeded share of [`build_cpu`](Self::build_cpu): CPU time
+    /// spent in shard builds that started from the probe's candidate space
+    /// (the remainder — `build_cpu - seeded_build_cpu` — is cold top-down
+    /// build time).
+    pub seeded_build_cpu: Duration,
+    /// Shards built from the probe seed (either 0 or
+    /// [`shards`](Self::shards): seeds are derived for all shards or none).
+    pub seeded_shards: usize,
+    /// Phase-1 scan work across shard builds (neighbour visits, each a
+    /// filter evaluation — the same unit as `ShardPlan::probe_entries`).
+    /// 0 when every shard was seeded: the probe's single pass replaced the
+    /// per-shard scans.
+    pub topdown_entries: usize,
 }
 
 impl PipelineStats {
@@ -202,6 +235,28 @@ pub(crate) fn shard_ranges(count: usize, shards: usize) -> Vec<std::ops::Range<u
     out
 }
 
+/// One shard's build input: the root chunk for a cold top-down scan, or
+/// the chunk plus the shared probe/mask artifacts for a seeded build (the
+/// shard's phase-1 candidate sets are extracted lazily on the building
+/// thread — `RootProfile::seed_shard` — so peak memory is bounded by the
+/// in-flight shards, not all shards' duplicated candidate space). Either
+/// way the shard CST is a pure function of `(q, g, tree, options, input)` —
+/// and the two variants produce **bit-identical** CSTs for the same shard
+/// (`tests/prop_seeded_build.rs`) — so the pipeline's determinism anchor
+/// is unchanged.
+enum ShardInput {
+    /// Sorted root chunk; the build runs the full top-down scan.
+    Roots(Vec<VertexId>),
+    /// Sorted root chunk plus the probe's memoised candidate space and the
+    /// propagated shard masks; the build extracts its phase-1 sets and
+    /// skips straight to refinement + adjacency materialisation.
+    Seed {
+        chunk: Vec<VertexId>,
+        probe: Arc<RootProfile>,
+        masks: Arc<SeedMasks>,
+    },
+}
+
 /// Builds the shard with the given index. Pure function of its arguments —
 /// the determinism anchor of the whole pipeline.
 fn build_shard(
@@ -209,12 +264,21 @@ fn build_shard(
     g: &Graph,
     tree: &BfsTree,
     options: CstOptions,
-    chunk: Vec<VertexId>,
+    input: ShardInput,
     shard: usize,
 ) -> ShardCst {
     let t0 = Instant::now();
-    let root_count = chunk.len();
-    let (cst, stats) = build_cst_from_roots(q, g, tree, options, chunk);
+    let (seeded, root_count, (cst, stats)) = match input {
+        ShardInput::Roots(chunk) => {
+            let roots = chunk.len();
+            (false, roots, build_cst_from_roots(q, g, tree, options, chunk))
+        }
+        ShardInput::Seed { chunk, probe, masks } => {
+            let roots = chunk.len();
+            let seed = probe.seed_shard(&masks, chunk, shard);
+            (true, roots, build_cst_seeded(q, g, tree, options, seed))
+        }
+    };
     // Stop the clock before the workload DP: it is a skew diagnostic, not
     // part of Algorithm 1, and must not inflate the measured build time.
     let build_time = t0.elapsed();
@@ -226,6 +290,7 @@ fn build_shard(
             build_time,
             adjacency_entries: stats.adjacency_entries,
             workload,
+            seeded,
         },
         cst,
         stats,
@@ -281,29 +346,71 @@ pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
     };
     let plan_time = plan_t0.elapsed();
     let shards = plan.shard_count();
+    // Seed-mask derivation (when the plan carries a probe and seeding is
+    // on): one integer mask sweep per 64 shards over the probed candidate
+    // space, replacing every shard's top-down scan. The per-shard
+    // candidate-set extraction happens lazily on the *building* thread
+    // (`ShardInput::Seed`), so peak memory stays bounded by the in-flight
+    // shards instead of all shards' duplicated candidate space.
+    let seed_t0 = Instant::now();
+    let seed_artifacts: Option<(Arc<RootProfile>, Arc<SeedMasks>)> = if options.seed_builds {
+        plan.probe.as_ref().and_then(|probe| {
+            probe
+                .seed_masks(&plan, &roots)
+                .map(|masks| (Arc::clone(probe), Arc::new(masks)))
+        })
+    } else {
+        None
+    };
+    let seed_time = if seed_artifacts.is_some() {
+        seed_t0.elapsed()
+    } else {
+        Duration::ZERO
+    };
+    let seeded_shards = if seed_artifacts.is_some() { shards } else { 0 };
     // Chunk extraction is part of planning, not of any shard's build time.
-    let chunks: Vec<Vec<VertexId>> = (0..shards).map(|s| plan.chunk_roots(&roots, s)).collect();
+    let inputs: Vec<ShardInput> = (0..shards)
+        .map(|s| {
+            let chunk = plan.chunk_roots(&roots, s);
+            match &seed_artifacts {
+                Some((probe, masks)) => ShardInput::Seed {
+                    chunk,
+                    probe: Arc::clone(probe),
+                    masks: Arc::clone(masks),
+                },
+                None => ShardInput::Roots(chunk),
+            }
+        })
+        .collect();
     let wall0 = Instant::now();
     let mut stats = PipelineStats {
         shards,
         plan,
         plan_time,
+        seed_time,
         threads: options.threads.max(1).min(shards),
         root_candidates: roots.len(),
         shard_reports: Vec::with_capacity(shards),
         build_wall: Duration::ZERO,
         build_cpu: Duration::ZERO,
+        seeded_build_cpu: Duration::ZERO,
+        seeded_shards,
+        topdown_entries: 0,
     };
 
     let mut take = |shard: ShardCst, stats: &mut PipelineStats| {
         stats.build_cpu += shard.report.build_time;
+        if shard.report.seeded {
+            stats.seeded_build_cpu += shard.report.build_time;
+        }
+        stats.topdown_entries += shard.stats.topdown_entries;
         stats.shard_reports.push(shard.report.clone());
         consume(shard);
     };
 
     if stats.threads <= 1 {
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            let shard = build_shard(q, g, tree, options.cst, chunk, i);
+        for (i, input) in inputs.into_iter().enumerate() {
+            let shard = build_shard(q, g, tree, options.cst, input, i);
             stats.build_wall = wall0.elapsed();
             take(shard, &mut stats);
         }
@@ -315,7 +422,10 @@ pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
     // partitioning of earlier shards must not count as build time.
     let build_done: Mutex<Duration> = Mutex::new(Duration::ZERO);
     let (tx, rx) = mpsc::channel::<ShardCst>();
-    let chunks_ref = &chunks;
+    // Each input is consumed exactly once by whichever worker claims it.
+    let inputs: Vec<Mutex<Option<ShardInput>>> =
+        inputs.into_iter().map(|input| Mutex::new(Some(input))).collect();
+    let inputs_ref = &inputs;
     std::thread::scope(|scope| {
         for _ in 0..stats.threads {
             let tx = tx.clone();
@@ -324,11 +434,15 @@ pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
             scope.spawn(move || {
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= chunks_ref.len() {
+                    if i >= inputs_ref.len() {
                         return;
                     }
-                    let shard =
-                        build_shard(q, g, tree, options.cst, chunks_ref[i].clone(), i);
+                    let input = inputs_ref[i]
+                        .lock()
+                        .expect("shard input lock")
+                        .take()
+                        .expect("each shard input claimed once");
+                    let shard = build_shard(q, g, tree, options.cst, input, i);
                     let done = wall0.elapsed();
                     let mut latest = build_done.lock().expect("timestamp lock");
                     if done > *latest {

@@ -55,11 +55,12 @@
 //! decomposition — and everything downstream of it — must stay
 //! bit-identical for every thread count (see `cst::pipeline` module docs).
 
-use crate::construct::CstOptions;
+use crate::construct::{CstOptions, TopDownSeed};
 use crate::filter::CandidateFilter;
 use crate::pipeline::{shard_ranges, PipelineOptions};
 use graph_core::{BfsTree, Graph, QueryGraph, VertexId};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Shard-boundary planning policy of the host CST pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -184,7 +185,7 @@ pub fn estimated_partition_ratio(profile: &RootProfile, config: &PlannerConfig) 
 /// One non-root query vertex's slice of the probed candidate space: the
 /// tree-edge adjacency from the parent's candidates to this vertex's, in
 /// CSR form over *candidate indices* (discovery order).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct ProbeLevel {
     /// The query vertex this level belongs to (index into `q`).
     vertex: usize,
@@ -197,12 +198,16 @@ struct ProbeLevel {
     offsets: Vec<u32>,
     /// Candidate indices at this level (not sorted — discovery order).
     targets: Vec<u32>,
+    /// The candidate data vertices, indexed by candidate index (discovery
+    /// order) — the memoised phase-1 sets seeded shard builds restrict
+    /// ([`RootProfile::seed_chunks`]).
+    candidates: Vec<VertexId>,
 }
 
 /// One non-tree query edge's sampled candidate edges: `(i, j)` pairs of
 /// candidate indices at the two endpoint levels, every `stride`-th edge of
 /// the scan kept.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct NonTreeSample {
     /// Mask index of the first endpoint (0 = root, else level index + 1).
     a_mask: usize,
@@ -211,6 +216,19 @@ struct NonTreeSample {
     /// Each kept pair stands for this many scanned candidate edges.
     stride: usize,
     pairs: Vec<(u32, u32)>,
+}
+
+/// Shard-reachability masks over the probed candidate space — stage 1 of
+/// seed derivation ([`RootProfile::seed_masks`]): `chunks[c][level][cand]`
+/// carries bit `s − 64·c` for every shard `s` whose roots reach the
+/// candidate. One `u64` per candidate per 64-shard chunk.
+#[derive(Debug)]
+pub struct SeedMasks {
+    /// Per 64-shard chunk, per probe level (root level excluded), the
+    /// candidate masks.
+    chunks: Vec<Vec<Vec<u64>>>,
+    /// Shard count the masks were derived for.
+    shards: usize,
 }
 
 /// Cap on kept pairs per non-tree edge; reaching it halves the sample and
@@ -224,10 +242,12 @@ const NONTREE_SAMPLE_CAP: usize = 1 << 18;
 const NONTREE_SCAN_BUDGET: usize = 1 << 20;
 
 /// Per-root probe results: the unrefined tree-edge candidate space (one
-/// top-down pass of Algorithm 1, memoised as per-level CSR), per-root
-/// workload weights from the `W_CST` dynamic program over that space, and
-/// per-root dominant hubs for clustering.
-#[derive(Debug, Clone, Default)]
+/// top-down pass of Algorithm 1, memoised as per-level CSR **with the
+/// discovered candidate vertices**, so shard builds can be seeded from it —
+/// [`RootProfile::seed_chunks`]), per-root workload weights from the
+/// `W_CST` dynamic program over that space, and per-root dominant hubs for
+/// clustering.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RootProfile {
     /// `W_CST` per root candidate over the probed (unrefined, tree-edge)
     /// candidate space — the planner's incarnation of
@@ -312,6 +332,7 @@ impl RootProfile {
                 count: 0,
                 offsets: Vec::with_capacity(candidates[parent.index()].len() + 1),
                 targets: Vec::new(),
+                candidates: Vec::new(),
             };
             level.offsets.push(0);
             let mut discovered: Vec<VertexId> = Vec::new();
@@ -342,6 +363,7 @@ impl RootProfile {
                 slot[w.index()] = u32::MAX;
             }
             level.count = discovered.len();
+            level.candidates = discovered.clone();
             candidates[u.index()] = discovered;
             profile.levels.push(level);
         }
@@ -562,6 +584,140 @@ impl RootProfile {
         }
     }
 
+    /// Stage 1 of seed derivation: shard-reachability masks over the
+    /// memoised candidate space. Shard masks are OR-propagated down the
+    /// probed tree-edge CSR (one integer sweep per 64 shards — no graph
+    /// access, no filter evaluations): shard `s` reaches a candidate iff
+    /// some candidate parent of it carries bit `s`. The masks are shared
+    /// by every shard's [`seed_shard`](Self::seed_shard) extraction — one
+    /// `u64` per candidate per 64-shard chunk, far smaller than
+    /// materialising all shards' candidate sets upfront.
+    ///
+    /// Returns `None` when the profile carries no candidate space
+    /// (weights-only profiles) or was probed over a different root list —
+    /// the caller must fall back to cold builds.
+    pub fn seed_masks(&self, plan: &ShardPlan, roots: &[VertexId]) -> Option<SeedMasks> {
+        if !self.has_levels()
+            || self.weights.len() != roots.len()
+            || plan.order.len() != roots.len()
+        {
+            return None;
+        }
+        let shards = plan.shard_count();
+        let level_index: std::collections::HashMap<usize, usize> = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(li, l)| (l.vertex, li + 1))
+            .collect();
+        // One 64-wide mask sweep per chunk of shards (no saturation — every
+        // shard gets its own bit, unlike the duplication estimate).
+        let mut chunks = Vec::with_capacity(shards.div_ceil(64));
+        for base in (0..shards).step_by(64) {
+            let width = (shards - base).min(64);
+            let mut masks: Vec<Vec<u64>> = Vec::with_capacity(self.levels.len() + 1);
+            let mut root_masks = vec![0u64; roots.len()];
+            for s in base..base + width {
+                let bit = 1u64 << (s - base);
+                for &i in &plan.order[plan.ranges[s].clone()] {
+                    root_masks[i as usize] |= bit;
+                }
+            }
+            masks.push(root_masks);
+            for level in &self.levels {
+                let parent_masks: &Vec<u64> = if level.parent == self.root_vertex {
+                    &masks[0]
+                } else {
+                    &masks[level_index[&level.parent]]
+                };
+                let mut mine = vec![0u64; level.count];
+                for (pi, &m) in parent_masks.iter().enumerate() {
+                    if m == 0 {
+                        continue;
+                    }
+                    let r = level.offsets[pi] as usize..level.offsets[pi + 1] as usize;
+                    for &t in &level.targets[r] {
+                        mine[t as usize] |= m;
+                    }
+                }
+                masks.push(mine);
+            }
+            // Drop the root-level masks: extraction never reads them (the
+            // root level of a seed is the shard's own chunk).
+            masks.remove(0);
+            chunks.push(masks);
+        }
+        Some(SeedMasks { chunks, shards })
+    }
+
+    /// Stage 2 of seed derivation: extracts shard `s`'s phase-1 candidate
+    /// sets from the propagated `masks`. Each level's reached candidates
+    /// are **exactly** the set the shard's own top-down pass would
+    /// discover, because every shard parent candidate is a member of the
+    /// probed space with the identical (filtered) target list. The
+    /// resulting [`TopDownSeed`] feeds
+    /// [`crate::construct::build_cst_seeded`]; seeded builds are
+    /// bit-identical to cold ones (`tests/prop_seeded_build.rs`). Note the
+    /// probe's stride-sampled non-tree edges play no part here: seeds
+    /// carry only the tree-edge candidate *sets*, and the build
+    /// re-materialises every adjacency list from the graph.
+    ///
+    /// `chunk` is the shard's sorted root chunk (`ShardPlan::chunk_roots`);
+    /// runs on whichever thread builds the shard, so extraction
+    /// parallelises with the builds.
+    pub fn seed_shard(&self, masks: &SeedMasks, chunk: Vec<VertexId>, s: usize) -> TopDownSeed {
+        assert!(s < masks.shards, "shard index within the planned count");
+        let n = self.levels.len() + 1; // the BFS tree spans every query vertex
+        let mut seed = TopDownSeed {
+            candidates: vec![Vec::new(); n],
+        };
+        seed.candidates[self.root_vertex] = chunk;
+        let level_masks = &masks.chunks[s / 64];
+        let bit = 1u64 << (s % 64);
+        for (li, level) in self.levels.iter().enumerate() {
+            let mut cands: Vec<VertexId> = level
+                .candidates
+                .iter()
+                .zip(&level_masks[li])
+                .filter(|&(_, &m)| m & bit != 0)
+                .map(|(&v, _)| v)
+                .collect();
+            // Discovery order → the sorted order the top-down pass emits
+            // (candidate vertices are distinct by construction).
+            cands.sort_unstable();
+            seed.candidates[level.vertex] = cands;
+        }
+        seed
+    }
+
+    /// Derives every shard's phase-1 candidate sets at once —
+    /// [`seed_masks`](Self::seed_masks) + [`seed_shard`](Self::seed_shard)
+    /// per shard. The pipeline itself extracts lazily per shard (bounding
+    /// peak memory to the in-flight shards); this convenience form backs
+    /// the tests.
+    pub fn seed_chunks(&self, plan: &ShardPlan, roots: &[VertexId]) -> Option<Vec<TopDownSeed>> {
+        let masks = self.seed_masks(plan, roots)?;
+        Some(
+            (0..plan.shard_count())
+                .map(|s| self.seed_shard(&masks, plan.chunk_roots(roots, s), s))
+                .collect(),
+        )
+    }
+
+    /// Drops the planner-only payloads — non-tree edge samples (up to
+    /// 2¹⁸ pairs per non-tree query edge), dominant hubs, refinement
+    /// bitmaps — keeping exactly what seed derivation reads: the
+    /// per-level candidate CSR (with candidate vertices) and the root
+    /// weights (whose length gates [`seed_masks`](Self::seed_masks)).
+    /// Applied before the probe is attached to a [`ShardPlan`], so a plan
+    /// cache pins only the seed-relevant data.
+    fn into_seed_profile(mut self) -> RootProfile {
+        self.nontree = Vec::new();
+        self.hubs = Vec::new();
+        self.alive = Vec::new();
+        self
+    }
+
     /// The root's level-1 adjacency: candidate indices reachable from root
     /// `i` (the 1-hop frontier, in discovery order).
     fn level1(&self, i: usize) -> &[u32] {
@@ -609,6 +765,15 @@ pub struct ShardPlan {
     /// plan is only trusted by `for_each_shard_cst_planned` when this
     /// matches the freshly derived inputs.
     pub provenance: u64,
+    /// The probe behind the plan, when one ran: the memoised per-level
+    /// candidate space shard builds are seeded from
+    /// ([`RootProfile::seed_chunks`]). Rides with the plan through the
+    /// pipeline and any plan cache, so a warm-cache session skips the
+    /// global top-down scan entirely. `None` for contiguous/degenerate
+    /// plans (no probe) and hand-built plans; covered by the same
+    /// [`provenance`](Self::provenance) trust check as the boundaries —
+    /// a foreign probe is discarded with its plan, never seeded from.
+    pub probe: Option<Arc<RootProfile>>,
 }
 
 impl ShardPlan {
@@ -626,6 +791,7 @@ impl ShardPlan {
             partition_ratio: 1.0,
             probe_entries: 0,
             provenance: 0,
+            probe: None,
         }
     }
 
@@ -685,6 +851,12 @@ pub fn plan_pipeline_shards(
     };
     let mut plan = plan_shards(options.planner, &profile, shards, &config);
     plan.provenance = provenance;
+    // The probe is a first-class artifact: it rides with the plan so shard
+    // builds can be seeded from its candidate space instead of re-running
+    // the top-down scan per shard (and so a plan cache retains it) —
+    // trimmed to the seed-relevant fields first, so caches don't pin the
+    // planner-only payloads.
+    plan.probe = Some(Arc::new(profile.into_seed_profile()));
     plan
 }
 
@@ -740,6 +912,7 @@ fn assemble(
         partition_ratio: 1.0,
         probe_entries: profile.probe_entries,
         provenance: 0,
+        probe: None,
     }
 }
 

@@ -54,6 +54,16 @@ pub struct FastConfig {
     /// planned for the same query/graph/options; a mismatched plan is
     /// detected and silently replanned. `None` (default) plans fresh.
     pub shard_plan: Option<Arc<ShardPlan>>,
+    /// Seed shard builds from the plan's probe (`cst::build_cst_seeded`):
+    /// when the planner probed (every planner except `Contiguous`), each
+    /// shard starts from the probe's memoised phase-1 candidate space
+    /// restricted to its roots instead of re-running the top-down scan —
+    /// the probe *becomes* the build's phase 1 rather than extra planning
+    /// work. Results are bit-identical either way
+    /// (`tests/prop_seeded_build.rs`); disable to measure the cold path
+    /// (the `hostscale` figure runs both). Ignored when `host_threads == 1`
+    /// (the sequential flow never plans).
+    pub seed_from_probe: bool,
 }
 
 impl Default for FastConfig {
@@ -71,6 +81,7 @@ impl Default for FastConfig {
             pipeline_shards: None,
             shard_planner: ShardPlanner::Contiguous,
             shard_plan: None,
+            seed_from_probe: true,
         }
     }
 }
@@ -144,6 +155,7 @@ impl FastConfig {
             planner: self.shard_planner,
             cst: self.cst_options,
             partition_hint: Some(self.spec.cst_bram_budget(query_len, partial_bytes).max(1)),
+            seed_builds: self.seed_from_probe,
         }
     }
 

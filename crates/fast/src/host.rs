@@ -114,7 +114,24 @@ pub struct FastReport {
     /// inside — the overlapped prepare model, the same treatment as
     /// matching-order selection and `KernelPlan` construction (planning is
     /// one scan of the root adjacency, orders of magnitude below build).
+    /// When every shard build was seeded from the probe, this work is
+    /// *absorbed* — see [`FastReport::modeled_plan_overhead_sec`].
     pub modeled_plan_sec: f64,
+    /// Shards built from the probe's memoised candidate space
+    /// (`cst::build_cst_seeded`); 0 when builds ran cold (contiguous
+    /// planner, seeding disabled, or the sequential flow). Either 0 or
+    /// equal to [`pipeline_shards`](Self::pipeline_shards).
+    pub seeded_shards: usize,
+    /// Phase-1 top-down scan work across shard builds (neighbour visits,
+    /// each a filter evaluation — the same unit as the probe's
+    /// `probe_entries`). 0 when every shard was seeded: the probe's single
+    /// pass replaced the per-shard scans. Deterministic (a pure function of
+    /// the inputs), unlike the measured walls — the `hostscale` figure's
+    /// seeded-vs-cold assertion compares this.
+    pub build_topdown_entries: usize,
+    /// Measured wall time deriving per-shard seeds from the probe (the
+    /// integer mask sweep); zero for cold builds.
+    pub seed_time: Duration,
     /// Measured wall time of the CST build phase (first shard started →
     /// last shard finished; equals the full build for the sequential flow).
     pub build_time: Duration,
@@ -161,6 +178,21 @@ pub struct FastReport {
 }
 
 impl FastReport {
+    /// Modelled planning seconds **not** absorbed by seeded shard builds.
+    /// When every shard started from the probe's candidate space, the probe
+    /// *was* the builds' top-down pass — charging it on top of the build
+    /// (whose calibrated per-entry rate includes the top-down share) would
+    /// double-count, so the overhead is 0. With cold builds the probe is
+    /// pure extra work and the full [`modeled_plan_sec`](Self::modeled_plan_sec)
+    /// is charged. DESIGN.md §7 derives this split.
+    pub fn modeled_plan_overhead_sec(&self) -> f64 {
+        if self.pipeline_shards > 0 && self.seeded_shards == self.pipeline_shards {
+            0.0
+        } else {
+            self.modeled_plan_sec
+        }
+    }
+
     /// The modelled end-to-end elapsed time (seconds) under the overlapped
     /// regime (module docs): host work on the paper's Xeon plus
     /// kernel/transfer time on the modelled card. For the sequential flow
@@ -229,7 +261,7 @@ fn run_fast_with_tree(
             tree,
             order,
             &cst,
-            build_stats.adjacency_entries,
+            &build_stats,
             build_time,
             wall_start,
         )
@@ -351,7 +383,7 @@ fn run_fast_with_prepared(
     tree: &BfsTree,
     order: &MatchingOrder,
     cst: &Cst,
-    build_entries: usize,
+    build_stats: &cst::BuildStats,
     build_time: Duration,
     wall_start: Instant,
 ) -> Result<FastReport, FastError> {
@@ -366,7 +398,7 @@ fn run_fast_with_prepared(
     let partition_time = partition_start.elapsed().saturating_sub(state.kernel_wall);
 
     // Modelled host times: construction touches every index entry once.
-    let modeled_build_sec = cpu_cost.index_time_sec(build_entries);
+    let modeled_build_sec = cpu_cost.index_time_sec(build_stats.adjacency_entries);
     finish_report(
         q,
         config,
@@ -380,6 +412,9 @@ fn run_fast_with_prepared(
             planned_duplication: 1.0,
             plan_time: Duration::ZERO,
             modeled_plan_sec: 0.0,
+            seeded_shards: 0,
+            build_topdown_entries: build_stats.topdown_entries,
+            seed_time: Duration::ZERO,
             build_time,
             build_cpu_time: build_time,
             partition_time,
@@ -452,6 +487,9 @@ fn run_fast_pipelined(
             planned_duplication: pipe_stats.plan.estimated_duplication,
             plan_time: pipe_stats.plan_time,
             modeled_plan_sec,
+            seeded_shards: pipe_stats.seeded_shards,
+            build_topdown_entries: pipe_stats.topdown_entries,
+            seed_time: pipe_stats.seed_time,
             build_time: pipe_stats.build_wall,
             build_cpu_time: pipe_stats.build_cpu,
             partition_time: partition_cpu,
@@ -486,6 +524,16 @@ pub struct PreparePhase {
     pub shard_plan: ShardPlan,
     /// Wall time of shard planning; ~0 when a cached plan was supplied.
     pub plan_time: Duration,
+    /// Wall time deriving per-shard seeds from the plan's probe; 0 for
+    /// cold builds.
+    pub seed_time: Duration,
+    /// Shards built from the probe's memoised candidate space — a cached
+    /// plan carries its probe, so a warm-cache session skips the global
+    /// top-down scan entirely (0 or [`pipeline_shards`](Self::pipeline_shards)).
+    pub seeded_shards: usize,
+    /// Phase-1 top-down scan work across shard builds; 0 when every shard
+    /// was seeded.
+    pub build_topdown_entries: usize,
     /// Shards the root candidate set was split into.
     pub pipeline_shards: usize,
     /// Worker threads the build used.
@@ -560,6 +608,9 @@ pub fn prepare_partitions(
         build_wall: pipe_stats.build_wall,
         build_cpu: pipe_stats.build_cpu,
         plan_time: pipe_stats.plan_time,
+        seed_time: pipe_stats.seed_time,
+        seeded_shards: pipe_stats.seeded_shards,
+        build_topdown_entries: pipe_stats.topdown_entries,
         shard_plan: pipe_stats.plan,
         partition_time,
         partitions: index,
@@ -575,6 +626,9 @@ struct HostTimes {
     planned_duplication: f64,
     plan_time: Duration,
     modeled_plan_sec: f64,
+    seeded_shards: usize,
+    build_topdown_entries: usize,
+    seed_time: Duration,
     build_time: Duration,
     build_cpu_time: Duration,
     partition_time: Duration,
@@ -687,6 +741,9 @@ fn finish_report(
         planned_duplication: times.planned_duplication,
         plan_time: times.plan_time,
         modeled_plan_sec: times.modeled_plan_sec,
+        seeded_shards: times.seeded_shards,
+        build_topdown_entries: times.build_topdown_entries,
+        seed_time: times.seed_time,
         build_time: times.build_time,
         build_cpu_time: times.build_cpu_time,
         partition_time: times.partition_time,

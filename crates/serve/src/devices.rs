@@ -10,6 +10,13 @@
 //! Completions subtract their booking and add the partition's actual
 //! modelled cycles, so utilisation reporting uses real (modelled) device
 //! time while dispatch uses the a-priori estimate.
+//!
+//! Admission also reports the **modelled queueing delay** the partition
+//! joins behind: the chosen device's outstanding booked workload converted
+//! to cycles at the pool's observed cycles-per-workload rate. The serving
+//! layer folds this into per-session latency so the throughput–latency
+//! curves stay device-faithful at high concurrency (the host wall alone
+//! hides the contention on the modelled cards).
 
 use fpga_sim::FpgaSpec;
 
@@ -31,6 +38,16 @@ pub struct DeviceStats {
 #[derive(Debug, Clone)]
 pub struct DevicePool {
     devices: Vec<DeviceStats>,
+    /// Workload completed across the pool — with `completed_cycles`, the
+    /// observed cycles-per-workload rate that converts a device's
+    /// outstanding *booked* workload into modelled device time at
+    /// admission. A partition's exact cycle count exists only after its
+    /// kernel ran, so the queueing estimate leans on `W_CST` the same way
+    /// dispatch does (Section V-C: the a-priori cost model).
+    completed_workload: f64,
+    /// Modelled cycles completed across the pool (see
+    /// [`completed_workload`](Self::completed_workload)).
+    completed_cycles: f64,
 }
 
 impl DevicePool {
@@ -42,6 +59,8 @@ impl DevicePool {
         assert!(cards >= 1, "need at least one device");
         DevicePool {
             devices: vec![DeviceStats::default(); cards],
+            completed_workload: 0.0,
+            completed_cycles: 0.0,
         }
     }
 
@@ -54,10 +73,24 @@ impl DevicePool {
         self.devices.is_empty()
     }
 
+    /// The observed modelled cycles per unit of booked workload (0 until
+    /// the first completion calibrates the pool).
+    fn cycles_per_workload(&self) -> f64 {
+        if self.completed_workload > 0.0 {
+            self.completed_cycles / self.completed_workload
+        } else {
+            0.0
+        }
+    }
+
     /// Books `workload` onto the device with the shortest expected
-    /// completion (minimum outstanding workload; ties → lowest index) and
-    /// returns its id.
-    pub fn admit(&mut self, workload: f64) -> usize {
+    /// completion (minimum outstanding workload; ties → lowest index).
+    /// Returns the device id and the modelled cycles already queued ahead
+    /// of this partition — the outstanding booked workload converted at
+    /// the pool's observed cycles-per-workload rate. Everything booked
+    /// ahead must drain before the new partition starts, so this is the
+    /// partition's modelled device queueing delay.
+    pub fn admit(&mut self, workload: f64) -> (usize, u64) {
         let device = (0..self.devices.len())
             .min_by(|&a, &b| {
                 self.devices[a]
@@ -65,19 +98,24 @@ impl DevicePool {
                     .total_cmp(&self.devices[b].outstanding_workload)
             })
             .expect("pool is non-empty");
+        let rate = self.cycles_per_workload();
         let d = &mut self.devices[device];
+        let queued_cycles = (d.outstanding_workload * rate).round() as u64;
         d.outstanding_workload += workload;
         d.total_workload += workload;
-        device
+        (device, queued_cycles)
     }
 
     /// Completes a partition previously admitted to `device`: releases its
-    /// workload booking and records the modelled cycles it actually cost.
+    /// workload booking, records the modelled cycles it actually cost, and
+    /// feeds the cycles-per-workload calibration.
     pub fn complete(&mut self, device: usize, workload: f64, cycles: u64) {
         let d = &mut self.devices[device];
         d.outstanding_workload = (d.outstanding_workload - workload).max(0.0);
         d.partitions += 1;
         d.cycles += cycles;
+        self.completed_workload += workload;
+        self.completed_cycles += cycles as f64;
     }
 
     /// Per-device counters.
@@ -125,18 +163,32 @@ mod tests {
     #[test]
     fn admit_picks_least_loaded_with_low_index_ties() {
         let mut pool = DevicePool::new(3);
-        assert_eq!(pool.admit(10.0), 0, "all idle: lowest index");
-        assert_eq!(pool.admit(1.0), 1);
-        assert_eq!(pool.admit(1.0), 2);
+        assert_eq!(pool.admit(10.0).0, 0, "all idle: lowest index");
+        assert_eq!(pool.admit(1.0).0, 1);
+        assert_eq!(pool.admit(1.0).0, 2);
         // Device 1 and 2 tie at 1.0 < 10.0: lowest index wins.
-        assert_eq!(pool.admit(5.0), 1);
-        assert_eq!(pool.admit(0.5), 2);
+        assert_eq!(pool.admit(5.0).0, 1);
+        assert_eq!(pool.admit(0.5).0, 2);
+    }
+
+    #[test]
+    fn admit_estimates_cycles_queued_ahead() {
+        let mut pool = DevicePool::new(1);
+        let (d, queued) = pool.admit(1.0);
+        assert_eq!(queued, 0, "uncalibrated pool estimates zero");
+        pool.complete(d, 1.0, 500); // calibration: 500 cycles per unit workload
+        let (_, queued) = pool.admit(2.0);
+        assert_eq!(queued, 0, "idle device: nothing queued ahead");
+        let (_, queued) = pool.admit(1.0);
+        assert_eq!(queued, 1000, "2.0 workload ahead at 500 cycles/unit");
+        let (_, queued) = pool.admit(1.0);
+        assert_eq!(queued, 1500);
     }
 
     #[test]
     fn complete_releases_booking_and_records_cycles() {
         let mut pool = DevicePool::new(2);
-        let d = pool.admit(7.0);
+        let (d, _) = pool.admit(7.0);
         pool.complete(d, 7.0, 1000);
         let snap = pool.snapshot();
         assert_eq!(snap[d].outstanding_workload, 0.0);
@@ -145,7 +197,7 @@ mod tests {
         assert_eq!(pool.makespan_cycles(), 1000);
         assert_eq!(pool.total_cycles(), 1000);
         // Completed devices become preferred again.
-        assert_eq!(pool.admit(1.0), d.min(1));
+        assert_eq!(pool.admit(1.0).0, d.min(1));
     }
 
     #[test]
@@ -153,7 +205,7 @@ mod tests {
         // Admissions overlap (nothing completes until the burst is in):
         // equal workloads round-robin across the pool.
         let mut pool = DevicePool::new(4);
-        let placed: Vec<usize> = (0..40).map(|_| pool.admit(1.0)).collect();
+        let placed: Vec<usize> = (0..40).map(|_| pool.admit(1.0).0).collect();
         for &d in &placed {
             pool.complete(d, 1.0, 10);
         }

@@ -51,13 +51,24 @@ pub struct ServeReport {
     pub qps: f64,
     /// Serving wall time the QPS is normalised by.
     pub wall_sec: f64,
-    /// Submit→done latency percentiles/mean (seconds, measured wall).
+    /// Session latency percentiles/mean (seconds): measured submit→done
+    /// wall **plus** each session's modelled device queueing delay
+    /// (`QueryReport::device_queue_sec`) — device-faithful at high
+    /// concurrency, where the inline emulated kernels hide the contention
+    /// on the modelled cards.
     pub latency_p50: f64,
     pub latency_p99: f64,
     pub latency_mean: f64,
     /// Admission-queue wait percentiles (seconds): submit → worker pickup.
     pub queue_wait_p50: f64,
     pub queue_wait_p99: f64,
+    /// Modelled device queueing delay percentiles/mean (seconds): per
+    /// session, the worst outstanding booked work its partitions joined
+    /// behind at admission (`DevicePool::admit`). The component of the
+    /// latency percentiles above that the host wall cannot see.
+    pub device_queue_p50: f64,
+    pub device_queue_p99: f64,
+    pub device_queue_mean: f64,
     /// Mean shard-planning wall per session, split by cache outcome. A
     /// working cache shows `plan_hit_mean_sec` ≈ 0.
     pub plan_hit_mean_sec: f64,
@@ -75,12 +86,13 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
-    /// Builds the latency/queue aggregates from raw samples. `latencies`,
-    /// `queue_waits`, `plan_hits`, `plan_misses` are per-session seconds.
+    /// Builds the latency/queue aggregates from raw samples. All inputs
+    /// are per-session seconds.
     pub(crate) fn aggregate(
         &mut self,
         latencies: &[f64],
         queue_waits: &[f64],
+        device_queues: &[f64],
         plan_hits: &[f64],
         plan_misses: &[f64],
     ) {
@@ -95,8 +107,40 @@ impl ServeReport {
         sorted.sort_by(f64::total_cmp);
         self.queue_wait_p50 = nearest_rank(&sorted, 0.50);
         self.queue_wait_p99 = nearest_rank(&sorted, 0.99);
+        sorted.clear();
+        sorted.extend_from_slice(device_queues);
+        sorted.sort_by(f64::total_cmp);
+        self.device_queue_p50 = nearest_rank(&sorted, 0.50);
+        self.device_queue_p99 = nearest_rank(&sorted, 0.99);
+        self.device_queue_mean = mean(device_queues);
         self.plan_hit_mean_sec = mean(plan_hits);
         self.plan_miss_mean_sec = mean(plan_misses);
+    }
+
+    /// Whether every derived rate/percentile field is finite — the
+    /// degenerate-report guard (zero wall, empty sample sets, idle
+    /// devices must all surface zeros, never NaN/inf).
+    pub fn is_finite(&self) -> bool {
+        [
+            self.qps,
+            self.wall_sec,
+            self.latency_p50,
+            self.latency_p99,
+            self.latency_mean,
+            self.queue_wait_p50,
+            self.queue_wait_p99,
+            self.device_queue_p50,
+            self.device_queue_p99,
+            self.device_queue_mean,
+            self.plan_hit_mean_sec,
+            self.plan_miss_mean_sec,
+            self.device_makespan_sec,
+            self.device_busy_sec,
+            self.device_imbalance,
+            self.cache.hit_rate(),
+        ]
+        .iter()
+        .all(|v| v.is_finite())
     }
 }
 
@@ -119,11 +163,23 @@ mod tests {
     #[test]
     fn aggregate_fills_fields() {
         let mut r = ServeReport::default();
-        r.aggregate(&[1.0, 2.0, 3.0], &[0.5], &[0.0, 0.0], &[1.0]);
+        r.aggregate(&[1.0, 2.0, 3.0], &[0.5], &[0.1, 0.3], &[0.0, 0.0], &[1.0]);
         assert_eq!(r.latency_p50, 2.0);
         assert_eq!(r.latency_mean, 2.0);
         assert_eq!(r.queue_wait_p99, 0.5);
+        assert_eq!(r.device_queue_p99, 0.3);
+        assert!((r.device_queue_mean - 0.2).abs() < 1e-12);
         assert_eq!(r.plan_hit_mean_sec, 0.0);
         assert_eq!(r.plan_miss_mean_sec, 1.0);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn empty_aggregate_is_finite() {
+        let mut r = ServeReport::default();
+        r.aggregate(&[], &[], &[], &[], &[]);
+        assert!(r.is_finite());
+        assert_eq!(r.latency_p99, 0.0);
+        assert_eq!(r.device_queue_p50, 0.0);
     }
 }

@@ -109,12 +109,23 @@ pub struct QueryReport {
     pub plan_time: Duration,
     /// Shards the plan decomposed the root set into.
     pub pipeline_shards: usize,
+    /// Shards built from the cached/fresh plan's probe — a warm-cache
+    /// session seeds every shard and skips the global top-down scan.
+    pub seeded_shards: usize,
     /// Wall time from worker pickup to completion (build + partition +
     /// inline emulated kernels).
     pub service_time: Duration,
     /// Wall time from submission to worker pickup.
     pub queue_wait: Duration,
-    /// Wall time from submission to completion.
+    /// Modelled device queueing delay: the worst queue this session's
+    /// partitions joined behind (outstanding booked work on the assigned
+    /// device at admission, in modelled device seconds). The host wall
+    /// alone hides this contention — the emulated kernels run inline — so
+    /// it is folded into [`latency`](Self::latency).
+    pub device_queue_sec: f64,
+    /// Wall time from submission to completion **plus** the modelled
+    /// device queueing delay ([`device_queue_sec`](Self::device_queue_sec))
+    /// — the device-faithful latency the service percentiles aggregate.
     pub latency: Duration,
     /// Total modelled kernel cycles across the session's partitions.
     pub kernel_cycles: u64,
@@ -198,22 +209,61 @@ struct Gate {
     max_seen: usize,
 }
 
-/// Cap on each per-session sample vector. When full the vector is thinned
-/// to every other sample (later samples then accumulate at full rate —
-/// a mild recency bias), so memory stays bounded on a service that runs
-/// forever while percentiles stay representative.
+/// Cap on each per-session sample vector; memory stays bounded on a
+/// service that runs forever.
 const SAMPLE_CAP: usize = 1 << 16;
 
-fn push_sample(samples: &mut Vec<f64>, value: f64) {
-    if samples.len() >= SAMPLE_CAP {
-        let mut keep = 0usize;
-        for i in (0..samples.len()).step_by(2) {
-            samples[keep] = samples[i];
-            keep += 1;
+/// A capacity-bounded sample reservoir with a uniform per-vector stride.
+/// When the vector fills it is thinned to every other retained sample and
+/// the stride doubles — and, unlike naive decimation, **future** values are
+/// then recorded at the same doubled stride, so every retained sample
+/// represents the same number of sessions. (Thinning alone overweights
+/// post-thinning traffic in p50/p99: old samples stand for 2ⁿ sessions
+/// each while new ones keep arriving at full rate.)
+#[derive(Debug, Clone)]
+pub(crate) struct SampleVec {
+    samples: Vec<f64>,
+    /// Record every `stride`-th pushed value (a power of two).
+    stride: u64,
+    /// Values pushed so far, recorded or not.
+    seen: u64,
+}
+
+impl Default for SampleVec {
+    fn default() -> Self {
+        SampleVec {
+            samples: Vec::new(),
+            stride: 1,
+            seen: 0,
         }
-        samples.truncate(keep);
     }
-    samples.push(value);
+}
+
+impl SampleVec {
+    pub(crate) fn push(&mut self, value: f64) {
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() >= SAMPLE_CAP {
+                // Retained sample `i` was pushed at position `i · stride`,
+                // so keeping the even positions leaves exactly the pushes
+                // divisible by the doubled stride.
+                let mut keep = 0usize;
+                for i in (0..self.samples.len()).step_by(2) {
+                    self.samples[keep] = self.samples[i];
+                    keep += 1;
+                }
+                self.samples.truncate(keep);
+                self.stride *= 2;
+            }
+            if self.seen.is_multiple_of(self.stride) {
+                self.samples.push(value);
+            }
+        }
+        self.seen += 1;
+    }
+
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.samples
+    }
 }
 
 #[derive(Default, Clone)]
@@ -222,10 +272,11 @@ struct MetricsState {
     completed: u64,
     failed: u64,
     total_embeddings: u64,
-    latencies: Vec<f64>,
-    queue_waits: Vec<f64>,
-    plan_hits: Vec<f64>,
-    plan_misses: Vec<f64>,
+    latencies: SampleVec,
+    queue_waits: SampleVec,
+    device_queues: SampleVec,
+    plan_hits: SampleVec,
+    plan_misses: SampleVec,
     first_submit: Option<Instant>,
     last_done: Option<Instant>,
 }
@@ -424,6 +475,10 @@ fn assemble_report(
         failed: m.failed,
         total_embeddings: m.total_embeddings,
         cache,
+        // Degenerate walls must never surface NaN/inf: a report taken
+        // before any completion has no wall at all, and a single session
+        // can complete within one clock tick (`wall_sec == 0.0` with
+        // `completed > 0`). Both collapse to QPS 0 rather than dividing.
         qps: if wall_sec > 0.0 {
             m.completed as f64 / wall_sec
         } else {
@@ -437,7 +492,14 @@ fn assemble_report(
         max_in_flight,
         ..ServeReport::default()
     };
-    report.aggregate(&m.latencies, &m.queue_waits, &m.plan_hits, &m.plan_misses);
+    report.aggregate(
+        m.latencies.as_slice(),
+        m.queue_waits.as_slice(),
+        m.device_queues.as_slice(),
+        m.plan_hits.as_slice(),
+        m.plan_misses.as_slice(),
+    );
+    debug_assert!(report.is_finite(), "report must never surface NaN/inf");
     report
 }
 
@@ -548,8 +610,13 @@ fn serve_one(inner: &Inner, sub: Submission) {
     let mut embeddings = 0u64;
     let mut partitions = 0usize;
     let mut kernel_cycles = 0u64;
+    let mut device_queue_sec = 0.0f64;
     let prep = prepare_partitions(q, g, &config, &tree, &order, &mut |job| {
-        let device = inner.devices.lock().expect("devices").admit(job.workload);
+        let (device, queued_cycles) =
+            inner.devices.lock().expect("devices").admit(job.workload);
+        // Partitions on different devices drain in parallel; the session's
+        // completion is gated by the worst queue any of them joined.
+        device_queue_sec = device_queue_sec.max(config.spec.cycles_to_sec(queued_cycles));
         let out = run_kernel(&job.cst, &kernel_plan, config.spec.no, config.collect);
         let cycles = config.variant.kernel_cycles(&model, out.counts);
         inner
@@ -583,9 +650,11 @@ fn serve_one(inner: &Inner, sub: Submission) {
         // the explicit probe/boundary-search wall on a miss.
         plan_time: measured_plan_time + prep.plan_time,
         pipeline_shards: prep.pipeline_shards,
+        seeded_shards: prep.seeded_shards,
         service_time: now.duration_since(picked),
         queue_wait,
-        latency: now.duration_since(sub.submitted),
+        device_queue_sec,
+        latency: now.duration_since(sub.submitted) + Duration::from_secs_f64(device_queue_sec),
         kernel_cycles,
         device_sec: config.spec.cycles_to_sec(kernel_cycles),
     };
@@ -606,13 +675,14 @@ fn finish(inner: &Inner, outcome: FinishOutcome) {
         FinishOutcome::Completed(report) => {
             m.completed += 1;
             m.total_embeddings += report.embeddings;
-            push_sample(&mut m.latencies, report.latency.as_secs_f64());
-            push_sample(&mut m.queue_waits, report.queue_wait.as_secs_f64());
+            m.latencies.push(report.latency.as_secs_f64());
+            m.queue_waits.push(report.queue_wait.as_secs_f64());
+            m.device_queues.push(report.device_queue_sec);
             let plan_sec = report.plan_time.as_secs_f64();
             if report.cache_hit {
-                push_sample(&mut m.plan_hits, plan_sec);
+                m.plan_hits.push(plan_sec);
             } else {
-                push_sample(&mut m.plan_misses, plan_sec);
+                m.plan_misses.push(plan_sec);
             }
             m.last_done = Some(Instant::now());
         }
@@ -713,6 +783,69 @@ mod tests {
         let report = service.shutdown();
         assert_eq!(report.failed, 1);
         assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn sample_stride_keeps_uniform_ramp_percentiles() {
+        use crate::metrics::percentile;
+        let n = (SAMPLE_CAP * 3) as u64; // forces two thinnings
+        let mut v = SampleVec::default();
+        for i in 0..n {
+            v.push(i as f64);
+        }
+        assert!(v.as_slice().len() <= SAMPLE_CAP, "cap respected");
+        assert!(v.stride >= 4, "two thinnings double the stride twice");
+        // Every retained sample stands for `stride` pushes — a uniform
+        // 0..n ramp keeps its percentiles (to within a stride or two).
+        // Naive decimation would keep every post-thinning push at full
+        // rate and drag p50 far into the tail.
+        let tol = 2.0 * v.stride as f64;
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let got = percentile(v.as_slice(), q);
+            let want = q * (n - 1) as f64;
+            assert!(
+                (got - want).abs() <= tol,
+                "p{q}: got {got}, want {want} (±{tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_reports_are_finite() {
+        // Before any submission: no serving wall exists at all.
+        let g = random_labelled_graph(20, 0.2, 1, 46);
+        let service = FastService::new(g, small_config());
+        let r = service.report();
+        assert!(r.is_finite());
+        assert_eq!(r.qps, 0.0);
+        assert_eq!(r.completed, 0);
+        service.shutdown();
+
+        // A single instantaneous session: first submit and last completion
+        // land on the same clock tick, so the wall is exactly zero with
+        // `completed > 0` — QPS/imbalance must degrade to finite zeros,
+        // never divide.
+        let mut m = MetricsState::default();
+        let now = Instant::now();
+        m.first_submit = Some(now);
+        m.last_done = Some(now);
+        m.completed = 1;
+        m.submitted = 1;
+        m.latencies.push(0.0);
+        m.queue_waits.push(0.0);
+        m.device_queues.push(0.0);
+        m.plan_misses.push(0.0);
+        let r = assemble_report(
+            &small_config(),
+            &m,
+            CacheStats::default(),
+            &DevicePool::new(1),
+            1,
+        );
+        assert!(r.is_finite(), "zero-wall report must stay finite: {r:?}");
+        assert_eq!(r.qps, 0.0, "zero wall yields zero QPS, not inf/NaN");
+        assert_eq!(r.wall_sec, 0.0);
+        assert_eq!(r.device_imbalance, 1.0, "idle pool is balanced by definition");
     }
 
     #[test]

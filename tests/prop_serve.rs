@@ -99,6 +99,16 @@ proptest! {
                 cold.kernel_cycles, hit.kernel_cycles,
                 "{} changed the modelled kernel work on a cache hit", planner
             );
+            // Cached plans retain their probe, so a warm session builds
+            // every shard from the memoised candidate space — the global
+            // top-down scan is skipped entirely. (Contiguous plans never
+            // probe; degenerate ≤1-root plans short-circuit planning.)
+            if planner != ShardPlanner::Contiguous && hit.pipeline_shards > 1 {
+                prop_assert_eq!(
+                    hit.seeded_shards, hit.pipeline_shards,
+                    "{} warm session did not seed from the cached probe", planner
+                );
+            }
         }
     }
 
