@@ -45,10 +45,10 @@ fn bench_session(c: &mut Criterion) {
             ServeConfig {
                 fast,
                 devices: 2,
+                extra_devices: Vec::new(),
                 workers: 1,
                 cache_capacity: capacity,
                 max_in_flight: 4,
-                graph_epoch: 0,
             },
         );
         // Prime the warm cache so every measured iteration hits.

@@ -5,7 +5,7 @@
 //!
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
-//!        | hostscale | shardplan | serving
+//!        | hostscale | shardplan | serving | tenants | snapshot
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -28,7 +28,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants snapshot"
                 );
                 std::process::exit(0);
             }
@@ -162,6 +162,27 @@ fn main() {
         };
         let rows = serving::run(&mut cache, d, levels, requests);
         println!("{}", serving::render(d, &rows));
+    }
+    if wants("tenants") {
+        // Mixed-tenant sweep: fleet composition × cache mode under a 1:3
+        // quota split; quick mode stays at DG01 with a shorter run.
+        let (d, clients, requests): (DatasetId, usize, usize) = if opts.quick {
+            (DatasetId::Dg01, 2, 10)
+        } else {
+            (DatasetId::Dg03, 4, 16)
+        };
+        let rows = multi_tenant::run(&mut cache, d, clients, requests);
+        println!("{}", multi_tenant::render(d, &rows));
+    }
+    if wants("snapshot") {
+        // Binary CSR snapshot round-trip: load-vs-build wall per dataset.
+        let sets: Vec<DatasetId> = if opts.quick {
+            vec![DatasetId::Dg01]
+        } else {
+            vec![DatasetId::Dg01, DatasetId::Dg03, DatasetId::Dg10]
+        };
+        let rows = snapshot::run(&sets);
+        println!("{}", snapshot::render(&rows));
     }
     if wants("ablation") {
         let d = DatasetId::Dg01;

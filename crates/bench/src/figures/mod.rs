@@ -12,6 +12,8 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod host_scaling;
+pub mod multi_tenant;
 pub mod serving;
 pub mod shard_planning;
+pub mod snapshot;
 pub mod table3;

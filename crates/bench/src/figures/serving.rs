@@ -126,10 +126,10 @@ fn serve_config(clients: usize, cache_capacity: usize) -> ServeConfig {
     ServeConfig {
         fast,
         devices: 4,
+        extra_devices: Vec::new(),
         workers: clients.clamp(1, 8),
         cache_capacity,
         max_in_flight: (2 * clients).max(1),
-        graph_epoch: 0,
     }
 }
 

@@ -1,0 +1,365 @@
+//! Execution backends: the partition-execution seam between preparation
+//! and devices.
+//!
+//! [`prepare_partitions`](crate::prepare_partitions) streams
+//! [`PartitionJob`]s — self-contained, independently matchable CSTs with
+//! their `W_CST` workload estimates — and stops there: *executing* a
+//! partition is policy. This module names that policy as a trait so a
+//! serving layer can multiplex one partition stream over a heterogeneous
+//! fleet:
+//!
+//! * [`FpgaBackend`] — the emulated kernel path (Section VI): runs
+//!   [`run_kernel`] and prices the partition through the variant's cycle
+//!   model at the device's clock. This is the exact execution + pricing
+//!   path `run_fast` uses (the host driver routes through the same
+//!   backend), so a pool of `FpgaBackend`s is bit-identical to the
+//!   one-shot flow.
+//! * [`CpuBackend`] — the host fallback: the same backtracking search the
+//!   FAST-SHARE CPU share runs ([`matching::run_backtrack`] over the
+//!   partition CST, intersection extension), priced through the calibrated
+//!   [`CpuCostModel`]. A partition CST encodes its embeddings exactly, so
+//!   CPU and FPGA execution of the same partition agree bit-for-bit
+//!   (`tests/prop_backend.rs`).
+//!
+//! Both report a **modelled execution time** in seconds — the common
+//! currency a shortest-expected-completion scheduler needs to price
+//! devices with different cost models against each other (kernel cycles
+//! at one clock are incomparable with nanoseconds-per-partial on a Xeon).
+
+use crate::config::FastConfig;
+use crate::host::PartitionJob;
+use crate::kernel::{run_kernel, CollectMode, KernelOutput};
+use crate::plan::KernelPlan;
+use crate::variants::Variant;
+use cst::Cst;
+use fpga_sim::{CycleModel, FpgaSpec, WorkloadCounts};
+use graph_core::{Graph, MatchingOrder, QueryGraph, VertexId};
+use matching::{run_backtrack, CpuCostModel, EngineStats, ExtensionMethod, RunLimits};
+
+/// Per-session context shared by every partition execution: derived once
+/// by the caller (tree/order/kernel plan), borrowed by each
+/// [`ExecutionBackend::execute`] call.
+pub struct QueryCtx<'a> {
+    pub query: &'a QueryGraph,
+    pub graph: &'a Graph,
+    pub order: &'a MatchingOrder,
+    pub kernel_plan: &'a KernelPlan,
+    pub collect: CollectMode,
+}
+
+/// What kind of device a backend models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendClass {
+    /// An emulated FPGA card (kernel + cycle model).
+    #[default]
+    Fpga,
+    /// A host CPU share (backtracking search + CPU cost model).
+    Cpu,
+}
+
+impl std::fmt::Display for BackendClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendClass::Fpga => write!(f, "fpga"),
+            BackendClass::Cpu => write!(f, "cpu"),
+        }
+    }
+}
+
+/// Static description of a backend device, for pool reports and for the
+/// serving layer's partition sizing (heterogeneous FPGA fleets must cut
+/// partitions that fit the *smallest* card).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendSpec {
+    pub class: BackendClass,
+    /// BRAM capacity constraining CST partitions; `usize::MAX` for CPU
+    /// backends (host memory is not the partitioning constraint).
+    pub bram_bytes: usize,
+    /// Device clock (FPGA) in MHz; 0 for CPU backends.
+    pub clock_mhz: f64,
+    /// Worker threads the backend models (1 for FPGA kernels).
+    pub threads: usize,
+}
+
+/// Result of executing one partition on one backend.
+#[derive(Debug, Clone, Default)]
+pub struct BackendOutput {
+    /// Embeddings found in the partition — identical across backends.
+    pub embeddings: u64,
+    /// Collected embeddings when [`CollectMode::Collect`] asks for them.
+    pub collected: Vec<Vec<VertexId>>,
+    /// Modelled kernel cycles (FPGA backends; 0 for CPU execution).
+    pub kernel_cycles: u64,
+    /// Modelled execution seconds under the backend's own cost model —
+    /// the scheduler's common currency.
+    pub modeled_sec: f64,
+}
+
+/// One device's execution + pricing policy. Implementations must be
+/// deterministic in `(job, ctx)`: the serving layer's bit-identity
+/// guarantees rest on every backend reporting the same `embeddings` for
+/// the same partition.
+pub trait ExecutionBackend: Send + Sync {
+    /// Static device description.
+    fn spec(&self) -> BackendSpec;
+
+    /// A-priori modelled seconds per unit of `W_CST` workload — the
+    /// scheduler's price before any completion calibrates the device.
+    /// Derived by charging one partial expansion + one edge check through
+    /// the backend's own cost model, so heterogeneous devices start from
+    /// comparable (if rough) prices.
+    fn prior_sec_per_workload(&self) -> f64;
+
+    /// Executes `job`'s partition and prices it.
+    fn execute(&self, job: &PartitionJob, ctx: &QueryCtx<'_>) -> BackendOutput;
+}
+
+/// The emulated-FPGA backend: [`run_kernel`] plus the variant's cycle
+/// model. Extracted from the host driver (`fast::host` routes every
+/// offloaded partition through [`FpgaBackend::run`] /
+/// [`FpgaBackend::price_cycles`]), so serving pools and `run_fast` share
+/// one execution path.
+#[derive(Debug, Clone)]
+pub struct FpgaBackend {
+    spec: FpgaSpec,
+    model: CycleModel,
+    variant: Variant,
+}
+
+impl FpgaBackend {
+    /// A backend on `config`'s device spec, variant, and stage latencies.
+    pub fn from_config(config: &FastConfig) -> Self {
+        FpgaBackend {
+            spec: config.spec.clone(),
+            model: config.cycle_model(),
+            variant: config.variant,
+        }
+    }
+
+    /// The device spec this backend emulates.
+    pub fn fpga_spec(&self) -> &FpgaSpec {
+        &self.spec
+    }
+
+    /// Runs the emulated kernel on one partition CST, returning the full
+    /// kernel detail (the host driver aggregates rounds/memory traffic;
+    /// the trait path keeps only the summary).
+    pub fn run(&self, cst: &Cst, plan: &KernelPlan, collect: CollectMode) -> KernelOutput {
+        run_kernel(cst, plan, self.spec.no, collect)
+    }
+
+    /// Prices a kernel run's workload counters through this variant's
+    /// cycle model.
+    pub fn price_cycles(&self, counts: WorkloadCounts) -> u64 {
+        self.variant.kernel_cycles(&self.model, counts)
+    }
+}
+
+impl ExecutionBackend for FpgaBackend {
+    fn spec(&self) -> BackendSpec {
+        BackendSpec {
+            class: BackendClass::Fpga,
+            bram_bytes: self.spec.bram_bytes,
+            clock_mhz: self.spec.clock_mhz,
+            threads: 1,
+        }
+    }
+
+    fn prior_sec_per_workload(&self) -> f64 {
+        let unit = self.price_cycles(WorkloadCounts { n: 1, m: 1 });
+        self.spec.cycles_to_sec(unit)
+    }
+
+    fn execute(&self, job: &PartitionJob, ctx: &QueryCtx<'_>) -> BackendOutput {
+        let out = self.run(&job.cst, ctx.kernel_plan, ctx.collect);
+        let kernel_cycles = self.price_cycles(out.counts);
+        BackendOutput {
+            embeddings: out.embeddings,
+            collected: out.collected,
+            kernel_cycles,
+            modeled_sec: self.spec.cycles_to_sec(kernel_cycles),
+        }
+    }
+}
+
+/// The CPU fallback backend: the backtracking search over the partition
+/// CST (intersection extension, the method the FAST CPU share models),
+/// priced through [`CpuCostModel`] with the contention-aware parallel
+/// speedup of `threads` host workers.
+#[derive(Debug, Clone)]
+pub struct CpuBackend {
+    threads: usize,
+    cost: CpuCostModel,
+}
+
+impl CpuBackend {
+    /// A backend modelling `threads` host workers (clamped to ≥ 1) under
+    /// the default calibrated cost model.
+    pub fn new(threads: usize) -> Self {
+        CpuBackend {
+            threads: threads.max(1),
+            cost: CpuCostModel::default(),
+        }
+    }
+
+    /// Modelled host workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl ExecutionBackend for CpuBackend {
+    fn spec(&self) -> BackendSpec {
+        BackendSpec {
+            class: BackendClass::Cpu,
+            bram_bytes: usize::MAX,
+            clock_mhz: 0.0,
+            threads: self.threads,
+        }
+    }
+
+    fn prior_sec_per_workload(&self) -> f64 {
+        (self.cost.ns_per_partial + self.cost.ns_per_edge_check) * 1e-9
+            / self.cost.parallel_speedup(self.threads)
+    }
+
+    fn execute(&self, job: &PartitionJob, ctx: &QueryCtx<'_>) -> BackendOutput {
+        match ctx.collect {
+            CollectMode::CountOnly => {
+                let (_, stats) = run_backtrack(
+                    ctx.query,
+                    ctx.graph,
+                    &job.cst,
+                    ctx.order,
+                    ExtensionMethod::Intersection,
+                    &RunLimits::unlimited(),
+                );
+                BackendOutput {
+                    embeddings: stats.embeddings,
+                    collected: Vec::new(),
+                    kernel_cycles: 0,
+                    modeled_sec: self.cost.parallel_search_time_sec(&stats, self.threads),
+                }
+            }
+            CollectMode::Collect(cap) => {
+                // The enumerator reports every embedding (the count must
+                // stay exact); collection alone is capped.
+                let mut collected = Vec::new();
+                let stats = cst::enumerate_embeddings(&job.cst, ctx.query, ctx.order, |emb| {
+                    if collected.len() < cap {
+                        collected.push(emb.to_vec());
+                    }
+                    true
+                });
+                let engine = EngineStats {
+                    embeddings: stats.embeddings,
+                    partials_generated: stats.partials_generated,
+                    edge_verifications: stats.edge_validations,
+                    ..EngineStats::default()
+                };
+                BackendOutput {
+                    embeddings: stats.embeddings,
+                    collected,
+                    kernel_cycles: 0,
+                    modeled_sec: self.cost.parallel_search_time_sec(&engine, self.threads),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare_partitions;
+    use graph_core::{generators::random_labelled_graph, path_based_order, select_root, BfsTree, Label, QueryGraph};
+
+    fn triangle() -> QueryGraph {
+        QueryGraph::new(
+            vec![Label::new(0), Label::new(1), Label::new(1)],
+            &[(0, 1), (1, 2), (0, 2)],
+        )
+        .unwrap()
+    }
+
+    /// Streams the query's partitions through `backend`, summing counts.
+    fn run_on(backend: &dyn ExecutionBackend, collect: CollectMode) -> (u64, usize, f64) {
+        let q = triangle();
+        let g = random_labelled_graph(60, 0.25, 2, 97);
+        let mut config = FastConfig::test_small(Variant::Sep);
+        config.collect = collect;
+        let root = select_root(&q, &g);
+        let tree = BfsTree::new(&q, root);
+        let order = path_based_order(&q, &tree, &g);
+        let kernel_plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        let ctx = QueryCtx {
+            query: &q,
+            graph: &g,
+            order: &order,
+            kernel_plan: &kernel_plan,
+            collect: config.collect,
+        };
+        let (mut embeddings, mut partitions, mut modeled) = (0u64, 0usize, 0.0f64);
+        prepare_partitions(&q, &g, &config, &tree, &order, &mut |job| {
+            let out = backend.execute(&job, &ctx);
+            embeddings += out.embeddings;
+            partitions += 1;
+            modeled += out.modeled_sec;
+        });
+        (embeddings, partitions, modeled)
+    }
+
+    #[test]
+    fn cpu_and_fpga_backends_agree_per_partition() {
+        let config = FastConfig::test_small(Variant::Sep);
+        let fpga = FpgaBackend::from_config(&config);
+        let cpu = CpuBackend::new(8);
+        let (ef, pf, sf) = run_on(&fpga, CollectMode::CountOnly);
+        let (ec, pc, sc) = run_on(&cpu, CollectMode::CountOnly);
+        assert_eq!(ef, ec, "backends disagree on embeddings");
+        assert_eq!(pf, pc, "partition streams must be identical");
+        assert!(ef > 0, "degenerate instance");
+        assert!(sf > 0.0 && sc > 0.0, "both backends price their work");
+    }
+
+    #[test]
+    fn collect_mode_caps_collection_not_count() {
+        let cpu = CpuBackend::new(2);
+        let (counted, _, _) = run_on(&cpu, CollectMode::CountOnly);
+        let q = triangle();
+        let g = random_labelled_graph(60, 0.25, 2, 97);
+        let mut config = FastConfig::test_small(Variant::Sep);
+        config.collect = CollectMode::Collect(1);
+        let root = select_root(&q, &g);
+        let tree = BfsTree::new(&q, root);
+        let order = path_based_order(&q, &tree, &g);
+        let kernel_plan = KernelPlan::new(&q, &order, &tree).unwrap();
+        let ctx = QueryCtx {
+            query: &q,
+            graph: &g,
+            order: &order,
+            kernel_plan: &kernel_plan,
+            collect: config.collect,
+        };
+        let mut embeddings = 0u64;
+        prepare_partitions(&q, &g, &config, &tree, &order, &mut |job| {
+            let out = cpu.execute(&job, &ctx);
+            assert!(out.collected.len() <= 1);
+            embeddings += out.embeddings;
+        });
+        assert_eq!(embeddings, counted, "capping collection must not cap counting");
+    }
+
+    #[test]
+    fn priors_are_positive_and_finite() {
+        let fpga = FpgaBackend::from_config(&FastConfig::default());
+        let cpu = CpuBackend::new(8);
+        for prior in [fpga.prior_sec_per_workload(), cpu.prior_sec_per_workload()] {
+            assert!(prior > 0.0 && prior.is_finite(), "{prior}");
+        }
+        assert_eq!(fpga.spec().class, BackendClass::Fpga);
+        assert_eq!(cpu.spec().class, BackendClass::Cpu);
+        assert_eq!(cpu.spec().threads, 8);
+        assert_eq!(CpuBackend::new(0).threads(), 1, "threads clamp to 1");
+    }
+}

@@ -36,8 +36,9 @@
 //! stream runs concurrently with the remaining `build_par − fill` of
 //! construction. Derivation and calibration live in EXPERIMENTS.md.
 
+use crate::backend::FpgaBackend;
 use crate::config::FastConfig;
-use crate::kernel::{run_kernel, CollectMode, KernelOutput};
+use crate::kernel::{CollectMode, KernelOutput};
 use crate::plan::{KernelPlan, PlanError};
 use crate::scheduler::ShareScheduler;
 use crate::variants::Variant;
@@ -276,6 +277,10 @@ fn run_fast_with_tree(
 /// execution is equivalent to streaming.
 struct OffloadState<'a> {
     config: &'a FastConfig,
+    /// The FPGA execution backend: the emulated kernel plus this variant's
+    /// cycle pricing. Serving pools run the same backend (`fast::backend`),
+    /// so the one-shot and served paths cannot drift.
+    backend: FpgaBackend,
     plan: &'a KernelPlan,
     tree: &'a BfsTree,
     prepare_start: Instant,
@@ -302,6 +307,7 @@ impl<'a> OffloadState<'a> {
         };
         OffloadState {
             config,
+            backend: FpgaBackend::from_config(config),
             plan,
             tree,
             prepare_start: Instant::now(),
@@ -362,8 +368,7 @@ impl<'a> OffloadState<'a> {
                             Some(s.prepare_start.elapsed().saturating_sub(s.kernel_wall));
                     }
                     let t0 = Instant::now();
-                    let out =
-                        run_kernel(&partition, s.plan, s.config.spec.no, s.config.collect);
+                    let out = s.backend.run(&partition, s.plan, s.config.collect);
                     s.kernel_wall += t0.elapsed();
                     s.fpga_outputs.push(out);
                 }
@@ -650,6 +655,7 @@ fn finish_report(
     wall_start: Instant,
 ) -> Result<FastReport, FastError> {
     let OffloadState {
+        backend,
         scheduler,
         cpu_queue,
         fpga_outputs,
@@ -681,7 +687,6 @@ fn finish_report(
     let modeled_cpu_match_sec = cpu_share_ns * 1e-9 / host_cores;
 
     // --- Aggregate kernel outputs and model device time. ---
-    let model = config.cycle_model();
     let mut counts = WorkloadCounts::default();
     let mut embeddings = cpu_embeddings;
     let mut collected = Vec::new();
@@ -696,7 +701,7 @@ fn finish_report(
         rounds += out.rounds;
         cst_reads += out.cst_reads;
         buffer_writes += out.buffer_writes;
-        kernel_cycles += config.variant.kernel_cycles(&model, out.counts);
+        kernel_cycles += backend.price_cycles(out.counts);
         if let CollectMode::Collect(cap) = config.collect {
             for e in &out.collected {
                 if collected.len() < cap {

@@ -25,9 +25,13 @@
 //! * [`variants`] — FAST-DRAM/BASIC/TASK/SEP/SHARE and their cycle models;
 //! * [`scheduler`] — the CPU-share scheduler (Algorithm 3);
 //! * [`host`] — the co-designed driver (Fig. 2);
+//! * [`backend`] — the [`ExecutionBackend`] seam: partition execution +
+//!   cost-model pricing behind one trait (emulated FPGA or CPU fallback),
+//!   the unit a heterogeneous serving pool schedules;
 //! * [`multi_fpga`] — the Section VII-E extension;
 //! * [`des_check`] — discrete-event cross-validation of the cycle model.
 
+pub mod backend;
 pub mod buffer;
 pub mod config;
 pub mod des_check;
@@ -38,6 +42,9 @@ pub mod plan;
 pub mod scheduler;
 pub mod variants;
 
+pub use backend::{
+    BackendClass, BackendOutput, BackendSpec, CpuBackend, ExecutionBackend, FpgaBackend, QueryCtx,
+};
 pub use config::FastConfig;
 pub use cst::{ShardPlan, ShardPlanner};
 pub use host::{

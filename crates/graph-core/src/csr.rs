@@ -80,6 +80,12 @@ impl Graph {
         }
     }
 
+    /// The raw CSR arrays `(labels, offsets, neighbors)` — the flat
+    /// sections the binary snapshot format (`crate::snapshot`) serialises.
+    pub(crate) fn csr_parts(&self) -> (&[Label], &[usize], &[VertexId]) {
+        (&self.labels, &self.offsets, &self.neighbors)
+    }
+
     /// Number of vertices, `|V(G)|`.
     #[inline]
     pub fn vertex_count(&self) -> usize {

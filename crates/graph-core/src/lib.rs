@@ -27,6 +27,7 @@ pub mod order;
 pub mod queries;
 pub mod query;
 pub mod sample;
+pub mod snapshot;
 pub mod stats;
 pub mod types;
 
@@ -41,5 +42,6 @@ pub use order::{
 pub use queries::{all_benchmark_queries, benchmark_query, QUERY_COUNT};
 pub use query::{QueryError, QueryGraph, MAX_QUERY_VERTICES};
 pub use sample::sample_edges;
+pub use snapshot::{graph_fingerprint, load_snapshot, save_snapshot, SnapshotError};
 pub use stats::{format_count, GraphStats};
 pub use types::{Label, QueryVertexId, VertexId};

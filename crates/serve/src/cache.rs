@@ -36,6 +36,15 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Folds another cache's counters into this one — how the service
+    /// report aggregates the per-tenant cache partitions.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+    }
 }
 
 struct Entry {
@@ -136,7 +145,7 @@ mod tests {
     fn key(q: u64) -> PlanKey {
         PlanKey {
             query: q,
-            graph_epoch: 0,
+            graph_epoch: crate::tenant::INITIAL_GRAPH_EPOCH,
             options: 0,
         }
     }

@@ -1,67 +1,165 @@
-//! The emulated device pool and its dispatch policy.
+//! The heterogeneous device pool and its dispatch policy.
 //!
 //! The paper's multi-FPGA extension (Section VII-E) assigns each CST — "an
 //! independent and complete search space" — to "the FPGA with the minimum
 //! total workload" using the `W_CST` estimate. The serving pool generalises
-//! that from one query's partitions to a concurrent stream: every partition
-//! of every in-flight session is booked onto the device whose *outstanding*
-//! booked workload is smallest — shortest expected completion, since
-//! outstanding workload is the length of the device's virtual queue.
-//! Completions subtract their booking and add the partition's actual
-//! modelled cycles, so utilisation reporting uses real (modelled) device
-//! time while dispatch uses the a-priori estimate.
+//! that twice. First, from one query's partitions to a concurrent stream:
+//! every partition of every in-flight session is booked onto a device and
+//! completions release the booking. Second, from homogeneous cards to a
+//! **heterogeneous fleet**: each device wraps an
+//! [`ExecutionBackend`] — an emulated FPGA card or
+//! a CPU fallback share — and the scheduler prices workload in **modelled
+//! seconds** under each backend's own cost model, because raw `W_CST` queue
+//! lengths are only comparable between identical devices. Dispatch is
+//! shortest *expected completion*: the device minimising
+//! `(outstanding + new) × sec_per_workload`, where `sec_per_workload` is
+//! the device's observed modelled-seconds-per-workload rate (its prior
+//! before the first completion calibrates it). For a homogeneous pool the
+//! rate divides out and this is exactly the paper's minimum-outstanding
+//! rule.
 //!
 //! Admission also reports the **modelled queueing delay** the partition
-//! joins behind: the chosen device's outstanding booked workload converted
-//! to cycles at the pool's observed cycles-per-workload rate. The serving
-//! layer folds this into per-session latency so the throughput–latency
-//! curves stay device-faithful at high concurrency (the host wall alone
-//! hides the contention on the modelled cards).
+//! joins behind — the chosen device's outstanding booked workload at its
+//! rate — which the serving layer folds into per-session latency so the
+//! throughput–latency curves stay device-faithful at high concurrency (the
+//! host wall alone hides contention on the modelled devices).
 
+use crate::service::ServeError;
+use fast::{BackendClass, CpuBackend, ExecutionBackend, FastConfig, FpgaBackend};
 use fpga_sim::FpgaSpec;
+use std::sync::Arc;
 
-/// Accumulated counters of one emulated device.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// Description of one device in a [`ServeConfig`](crate::ServeConfig)
+/// fleet, resolved to an [`ExecutionBackend`] at service construction.
+#[derive(Debug, Clone)]
+pub enum DeviceKind {
+    /// An emulated FPGA card with its own spec (BRAM, clock, ports); runs
+    /// the session's variant at that spec.
+    Fpga(FpgaSpec),
+    /// A CPU fallback share modelling `threads` host workers.
+    Cpu { threads: usize },
+}
+
+/// Accumulated counters of one pool device.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceStats {
+    /// What kind of backend the device wraps.
+    pub class: BackendClass,
     /// Workload admitted but not yet completed (the virtual queue length).
     pub outstanding_workload: f64,
     /// Total workload ever booked.
     pub total_workload: f64,
     /// Partitions executed.
     pub partitions: u64,
-    /// Modelled kernel cycles executed.
+    /// Modelled kernel cycles executed (0 for CPU devices — their cost
+    /// model has no cycle notion; see `busy_sec`).
     pub cycles: u64,
+    /// Modelled execution seconds under the device's own cost model — the
+    /// cross-backend utilisation currency.
+    pub busy_sec: f64,
 }
 
-/// A pool of emulated FPGA devices with shortest-expected-completion
-/// dispatch.
-#[derive(Debug, Clone)]
-pub struct DevicePool {
-    devices: Vec<DeviceStats>,
-    /// Workload completed across the pool — with `completed_cycles`, the
-    /// observed cycles-per-workload rate that converts a device's
-    /// outstanding *booked* workload into modelled device time at
-    /// admission. A partition's exact cycle count exists only after its
-    /// kernel ran, so the queueing estimate leans on `W_CST` the same way
-    /// dispatch does (Section V-C: the a-priori cost model).
+impl DeviceStats {
+    fn new(class: BackendClass) -> Self {
+        DeviceStats {
+            class,
+            outstanding_workload: 0.0,
+            total_workload: 0.0,
+            partitions: 0,
+            cycles: 0,
+            busy_sec: 0.0,
+        }
+    }
+}
+
+struct Device {
+    backend: Arc<dyn ExecutionBackend>,
+    stats: DeviceStats,
+    /// Per-device calibration: completed workload and the modelled seconds
+    /// it cost, yielding the observed sec-per-workload rate.
     completed_workload: f64,
-    /// Modelled cycles completed across the pool (see
-    /// [`completed_workload`](Self::completed_workload)).
-    completed_cycles: f64,
+    completed_sec: f64,
+    /// The backend's a-priori rate, used until the first completion.
+    prior_sec_per_workload: f64,
+}
+
+impl Device {
+    /// Observed (or prior) modelled seconds per unit of booked workload.
+    fn sec_per_workload(&self) -> f64 {
+        if self.completed_workload > 0.0 {
+            self.completed_sec / self.completed_workload
+        } else {
+            self.prior_sec_per_workload
+        }
+    }
+}
+
+/// A pool of heterogeneous execution backends with
+/// shortest-expected-completion dispatch.
+pub struct DevicePool {
+    devices: Vec<Device>,
+}
+
+impl std::fmt::Debug for DevicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DevicePool")
+            .field("devices", &self.snapshot())
+            .finish()
+    }
 }
 
 impl DevicePool {
-    /// Creates a pool of `cards` devices.
-    ///
-    /// # Panics
-    /// Panics if `cards == 0`.
-    pub fn new(cards: usize) -> Self {
-        assert!(cards >= 1, "need at least one device");
-        DevicePool {
-            devices: vec![DeviceStats::default(); cards],
-            completed_workload: 0.0,
-            completed_cycles: 0.0,
+    /// Creates a pool over `backends`; an empty fleet is a typed
+    /// [`ServeError::NoDevices`] (there is nothing to schedule onto).
+    pub fn new(backends: Vec<Arc<dyn ExecutionBackend>>) -> Result<Self, ServeError> {
+        if backends.is_empty() {
+            return Err(ServeError::NoDevices);
         }
+        let devices = backends
+            .into_iter()
+            .map(|backend| Device {
+                stats: DeviceStats::new(backend.spec().class),
+                prior_sec_per_workload: backend.prior_sec_per_workload().max(0.0),
+                completed_workload: 0.0,
+                completed_sec: 0.0,
+                backend,
+            })
+            .collect();
+        Ok(DevicePool { devices })
+    }
+
+    /// A homogeneous fleet of `cards` emulated FPGA devices at `fast`'s
+    /// spec/variant — the pre-heterogeneous pool, and still the default.
+    pub fn fpga_fleet(fast: &FastConfig, cards: usize) -> Result<Self, ServeError> {
+        Self::new(
+            (0..cards)
+                .map(|_| Arc::new(FpgaBackend::from_config(fast)) as Arc<dyn ExecutionBackend>)
+                .collect(),
+        )
+    }
+
+    /// Resolves a [`ServeConfig`](crate::ServeConfig)-style fleet:
+    /// `cards` FPGA devices at `fast`'s spec plus one device per
+    /// `extra` entry.
+    pub fn build(
+        fast: &FastConfig,
+        cards: usize,
+        extra: &[DeviceKind],
+    ) -> Result<Self, ServeError> {
+        let mut backends: Vec<Arc<dyn ExecutionBackend>> = (0..cards)
+            .map(|_| Arc::new(FpgaBackend::from_config(fast)) as Arc<dyn ExecutionBackend>)
+            .collect();
+        for kind in extra {
+            backends.push(match kind {
+                DeviceKind::Fpga(spec) => {
+                    let mut per_card = fast.clone();
+                    per_card.spec = spec.clone();
+                    Arc::new(FpgaBackend::from_config(&per_card))
+                }
+                DeviceKind::Cpu { threads } => Arc::new(CpuBackend::new(*threads)),
+            });
+        }
+        Self::new(backends)
     }
 
     /// Number of devices.
@@ -73,64 +171,76 @@ impl DevicePool {
         self.devices.is_empty()
     }
 
-    /// The observed modelled cycles per unit of booked workload (0 until
-    /// the first completion calibrates the pool).
-    fn cycles_per_workload(&self) -> f64 {
-        if self.completed_workload > 0.0 {
-            self.completed_cycles / self.completed_workload
-        } else {
-            0.0
-        }
+    /// The smallest FPGA BRAM across the fleet, if any FPGA device exists —
+    /// the partition-size constraint a shared partition stream must respect
+    /// (CPU devices accept any partition).
+    pub fn min_fpga_bram(&self) -> Option<usize> {
+        self.devices
+            .iter()
+            .map(|d| d.backend.spec())
+            .filter(|s| s.class == BackendClass::Fpga)
+            .map(|s| s.bram_bytes)
+            .min()
     }
 
     /// Books `workload` onto the device with the shortest expected
-    /// completion (minimum outstanding workload; ties → lowest index).
-    /// Returns the device id and the modelled cycles already queued ahead
-    /// of this partition — the outstanding booked workload converted at
-    /// the pool's observed cycles-per-workload rate. Everything booked
-    /// ahead must drain before the new partition starts, so this is the
-    /// partition's modelled device queueing delay.
-    pub fn admit(&mut self, workload: f64) -> (usize, u64) {
+    /// completion — minimum `(outstanding + workload) · sec_per_workload`
+    /// under each device's own observed (or prior) rate; ties → lowest
+    /// index. Returns the device id, the modelled seconds already queued
+    /// ahead of this partition on it, and the backend to execute on (so
+    /// the kernel runs outside the pool lock).
+    pub fn admit(&mut self, workload: f64) -> (usize, f64, Arc<dyn ExecutionBackend>) {
         let device = (0..self.devices.len())
             .min_by(|&a, &b| {
-                self.devices[a]
-                    .outstanding_workload
-                    .total_cmp(&self.devices[b].outstanding_workload)
+                let ca = (self.devices[a].stats.outstanding_workload + workload)
+                    * self.devices[a].sec_per_workload();
+                let cb = (self.devices[b].stats.outstanding_workload + workload)
+                    * self.devices[b].sec_per_workload();
+                ca.total_cmp(&cb)
             })
             .expect("pool is non-empty");
-        let rate = self.cycles_per_workload();
         let d = &mut self.devices[device];
-        let queued_cycles = (d.outstanding_workload * rate).round() as u64;
-        d.outstanding_workload += workload;
-        d.total_workload += workload;
-        (device, queued_cycles)
+        let queued_sec = d.stats.outstanding_workload * d.sec_per_workload();
+        d.stats.outstanding_workload += workload;
+        d.stats.total_workload += workload;
+        (device, queued_sec, Arc::clone(&d.backend))
     }
 
     /// Completes a partition previously admitted to `device`: releases its
-    /// workload booking, records the modelled cycles it actually cost, and
-    /// feeds the cycles-per-workload calibration.
-    pub fn complete(&mut self, device: usize, workload: f64, cycles: u64) {
+    /// workload booking, records the modelled seconds/cycles it actually
+    /// cost, and feeds the device's sec-per-workload calibration.
+    pub fn complete(&mut self, device: usize, workload: f64, modeled_sec: f64, cycles: u64) {
         let d = &mut self.devices[device];
-        d.outstanding_workload = (d.outstanding_workload - workload).max(0.0);
-        d.partitions += 1;
-        d.cycles += cycles;
-        self.completed_workload += workload;
-        self.completed_cycles += cycles as f64;
+        d.stats.outstanding_workload = (d.stats.outstanding_workload - workload).max(0.0);
+        d.stats.partitions += 1;
+        d.stats.cycles += cycles;
+        d.stats.busy_sec += modeled_sec;
+        d.completed_workload += workload;
+        d.completed_sec += modeled_sec;
     }
 
     /// Per-device counters.
     pub fn snapshot(&self) -> Vec<DeviceStats> {
-        self.devices.clone()
+        self.devices.iter().map(|d| d.stats).collect()
     }
 
-    /// The busiest device's modelled cycles — the fleet's makespan.
-    pub fn makespan_cycles(&self) -> u64 {
-        self.devices.iter().map(|d| d.cycles).max().unwrap_or(0)
+    /// The busiest device's modelled execution seconds — the fleet's
+    /// makespan, comparable across backend classes.
+    pub fn makespan_sec(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.stats.busy_sec)
+            .fold(0.0, f64::max)
     }
 
-    /// Total modelled cycles across devices.
+    /// Total modelled execution seconds across devices.
+    pub fn busy_sec(&self) -> f64 {
+        self.devices.iter().map(|d| d.stats.busy_sec).sum()
+    }
+
+    /// Total modelled cycles across FPGA devices.
     pub fn total_cycles(&self) -> u64 {
-        self.devices.iter().map(|d| d.cycles).sum()
+        self.devices.iter().map(|d| d.stats.cycles).sum()
     }
 
     /// Load imbalance: max/mean booked workload (1.0 when idle).
@@ -138,31 +248,36 @@ impl DevicePool {
         let max = self
             .devices
             .iter()
-            .map(|d| d.total_workload)
+            .map(|d| d.stats.total_workload)
             .fold(0.0, f64::max);
-        let mean =
-            self.devices.iter().map(|d| d.total_workload).sum::<f64>() / self.devices.len() as f64;
+        let mean = self
+            .devices
+            .iter()
+            .map(|d| d.stats.total_workload)
+            .sum::<f64>()
+            / self.devices.len() as f64;
         if mean == 0.0 {
             1.0
         } else {
             max / mean
         }
     }
-
-    /// Modelled seconds the busiest device spent executing, at `spec`'s
-    /// clock.
-    pub fn makespan_sec(&self, spec: &FpgaSpec) -> f64 {
-        spec.cycles_to_sec(self.makespan_cycles())
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fast::Variant;
+
+    fn fpga_pool(cards: usize) -> DevicePool {
+        DevicePool::fpga_fleet(&FastConfig::test_small(Variant::Sep), cards).unwrap()
+    }
 
     #[test]
     fn admit_picks_least_loaded_with_low_index_ties() {
-        let mut pool = DevicePool::new(3);
+        // Homogeneous fleet: equal rates divide out and dispatch reduces
+        // to the paper's minimum-outstanding-workload rule.
+        let mut pool = fpga_pool(3);
         assert_eq!(pool.admit(10.0).0, 0, "all idle: lowest index");
         assert_eq!(pool.admit(1.0).0, 1);
         assert_eq!(pool.admit(1.0).0, 2);
@@ -172,51 +287,83 @@ mod tests {
     }
 
     #[test]
-    fn admit_estimates_cycles_queued_ahead() {
-        let mut pool = DevicePool::new(1);
-        let (d, queued) = pool.admit(1.0);
-        assert_eq!(queued, 0, "uncalibrated pool estimates zero");
-        pool.complete(d, 1.0, 500); // calibration: 500 cycles per unit workload
-        let (_, queued) = pool.admit(2.0);
-        assert_eq!(queued, 0, "idle device: nothing queued ahead");
-        let (_, queued) = pool.admit(1.0);
-        assert_eq!(queued, 1000, "2.0 workload ahead at 500 cycles/unit");
-        let (_, queued) = pool.admit(1.0);
-        assert_eq!(queued, 1500);
+    fn admit_estimates_seconds_queued_ahead() {
+        let mut pool = fpga_pool(1);
+        let (d, queued, _) = pool.admit(1.0);
+        assert!(queued >= 0.0, "idle device: nothing queued ahead");
+        pool.complete(d, 1.0, 0.5, 500); // calibration: 0.5 s per unit workload
+        let (_, queued, _) = pool.admit(2.0);
+        assert_eq!(queued, 0.0, "idle device: nothing queued ahead");
+        let (_, queued, _) = pool.admit(1.0);
+        assert!((queued - 1.0).abs() < 1e-12, "2.0 workload ahead at 0.5 s/unit: {queued}");
+        let (_, queued, _) = pool.admit(1.0);
+        assert!((queued - 1.5).abs() < 1e-12, "{queued}");
     }
 
     #[test]
-    fn complete_releases_booking_and_records_cycles() {
-        let mut pool = DevicePool::new(2);
-        let (d, _) = pool.admit(7.0);
-        pool.complete(d, 7.0, 1000);
+    fn calibrated_rates_steer_toward_the_faster_device() {
+        // Two devices; device 0 calibrates 10× slower than device 1. The
+        // scheduler should keep device 1 ~10× busier.
+        let mut pool = fpga_pool(2);
+        pool.complete(0, 1.0, 1.0, 0);
+        pool.complete(1, 1.0, 0.1, 0);
+        let placed: Vec<usize> = (0..22).map(|_| pool.admit(1.0).0).collect();
+        let fast_count = placed.iter().filter(|&&d| d == 1).count();
+        assert!(
+            fast_count >= 18,
+            "fast device should absorb ~10/11 of the stream: {placed:?}"
+        );
+    }
+
+    #[test]
+    fn complete_releases_booking_and_records_costs() {
+        let mut pool = fpga_pool(2);
+        let (d, _, _) = pool.admit(7.0);
+        pool.complete(d, 7.0, 0.25, 1000);
         let snap = pool.snapshot();
         assert_eq!(snap[d].outstanding_workload, 0.0);
         assert_eq!(snap[d].partitions, 1);
         assert_eq!(snap[d].cycles, 1000);
-        assert_eq!(pool.makespan_cycles(), 1000);
+        assert_eq!(snap[d].busy_sec, 0.25);
+        assert_eq!(pool.makespan_sec(), 0.25);
+        assert_eq!(pool.busy_sec(), 0.25);
         assert_eq!(pool.total_cycles(), 1000);
-        // Completed devices become preferred again.
-        assert_eq!(pool.admit(1.0).0, d.min(1));
+        // Calibrate the other device to the same rate: with the booking
+        // released and rates equal, dispatch ties back to lowest index.
+        pool.complete(1 - d, 7.0, 0.25, 0);
+        assert_eq!(pool.admit(1.0).0, 0);
     }
 
     #[test]
-    fn overlapping_stream_spreads_over_all_devices() {
-        // Admissions overlap (nothing completes until the burst is in):
-        // equal workloads round-robin across the pool.
-        let mut pool = DevicePool::new(4);
-        let placed: Vec<usize> = (0..40).map(|_| pool.admit(1.0).0).collect();
-        for &d in &placed {
-            pool.complete(d, 1.0, 10);
-        }
-        let snap = pool.snapshot();
-        assert!(snap.iter().all(|d| d.partitions == 10), "{snap:?}");
-        assert!((pool.imbalance() - 1.0).abs() < 1e-9);
+    fn heterogeneous_pool_exposes_classes_and_bram_floor() {
+        let fast = FastConfig::test_small(Variant::Sep);
+        let mut small_spec = fast.spec.clone();
+        small_spec.bram_bytes /= 2;
+        let pool = DevicePool::build(
+            &fast,
+            1,
+            &[DeviceKind::Fpga(small_spec.clone()), DeviceKind::Cpu { threads: 8 }],
+        )
+        .unwrap();
+        assert_eq!(pool.len(), 3);
+        let classes: Vec<BackendClass> = pool.snapshot().iter().map(|d| d.class).collect();
+        assert_eq!(
+            classes,
+            vec![BackendClass::Fpga, BackendClass::Fpga, BackendClass::Cpu]
+        );
+        assert_eq!(pool.min_fpga_bram(), Some(small_spec.bram_bytes));
+        // A CPU-only pool has no FPGA BRAM floor.
+        let cpu_only = DevicePool::build(&fast, 0, &[DeviceKind::Cpu { threads: 4 }]).unwrap();
+        assert_eq!(cpu_only.min_fpga_bram(), None);
     }
 
     #[test]
-    #[should_panic(expected = "at least one device")]
-    fn zero_devices_panic() {
-        DevicePool::new(0);
+    fn empty_fleet_is_a_typed_error() {
+        let fast = FastConfig::test_small(Variant::Sep);
+        let err = DevicePool::fpga_fleet(&fast, 0).unwrap_err();
+        assert_eq!(err, ServeError::NoDevices);
+        let err = DevicePool::build(&fast, 0, &[]).unwrap_err();
+        assert_eq!(err, ServeError::NoDevices);
+        assert!(err.to_string().contains("no devices"), "{err}");
     }
 }

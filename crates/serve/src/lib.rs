@@ -1,63 +1,84 @@
-//! # serve — concurrent query serving over the FAST pipeline
+//! # serve — multi-tenant concurrent query serving over the FAST pipeline
 //!
 //! Everything below `serve` executes exactly one query per call. This crate
 //! is the layer the ROADMAP's north star asks for: a [`FastService`] owns a
-//! loaded data graph plus a pool of emulated FPGA devices and serves a
-//! *stream* of concurrent query submissions, amortising preparation across
-//! repeats and keeping the devices saturated:
+//! registry of **tenants** — each a loaded data graph with its own epoch,
+//! fair-share quota, and plan-cache partition — plus a heterogeneous pool
+//! of execution backends (emulated FPGA cards and CPU fallback shares) and
+//! serves a *stream* of concurrent query submissions, amortising
+//! preparation across repeats and keeping the devices saturated:
 //!
+//! * [`tenant`] — [`TenantId`]/[`TenantConfig`] and the weighted
+//!   round-robin session table: under saturation each backlogged tenant is
+//!   served in proportion to its quota (deficit round-robin), replacing the
+//!   old global blocking semaphore as the cross-tenant scheduling point;
 //! * [`cache`] — an LRU **plan cache** keyed on [`cst::PlanKey`] (query
-//!   fingerprint × graph epoch × planning options): a `ShardPlan` is a pure
-//!   function of `(q, g, tree, options)`, so repeated queries skip the
-//!   probe/boundary search entirely and reuse the planned decomposition;
-//! * [`devices`] — a [`DevicePool`] multiplexing CST
-//!   partitions across emulated cards by **shortest expected completion**
-//!   (the `W_CST` workload estimate of Section V-C is the cost model, as in
-//!   the paper's multi-FPGA extension);
+//!   fingerprint × tenant graph epoch × planning options), partitioned per
+//!   tenant: a `ShardPlan` is a pure function of `(q, g, tree, options)`,
+//!   so repeated queries skip the probe/boundary search entirely and one
+//!   tenant's plans can never collide with another's;
+//! * [`devices`] — a [`DevicePool`] multiplexing CST partitions across
+//!   heterogeneous backends by **shortest expected completion in modelled
+//!   seconds**: each backend (FPGA card under the cycle model, CPU share
+//!   under the search-cost model) is priced by its own observed rate, so
+//!   the scheduler steers work toward whatever drains fastest (the
+//!   multi-FPGA regime of Section VII-E, generalised);
 //! * [`service`] — admission control with **bounded in-flight depth**
 //!   (submissions block when the service is saturated — backpressure, not
 //!   unbounded queueing), worker threads running the decoupled
-//!   prepare/execute phases (`fast::prepare_partitions`), and
-//!   [`SessionHandle`]s streaming per-partition results back as kernels
-//!   drain;
-//! * [`metrics`] — per-query and service-level metrics ([`ServeReport`]):
-//!   sustained QPS, queue wait, p50/p99 latency, cache hit rate, per-device
-//!   utilisation.
+//!   prepare/execute phases (`fast::prepare_partitions`), snapshot-loaded
+//!   tenants ([`FastService::load_tenant_snapshot`] skips graph rebuild via
+//!   `graph_core::snapshot`), and [`SessionHandle`]s streaming
+//!   per-partition results back as backends drain;
+//! * [`metrics`] — per-query, per-tenant, and service-level metrics
+//!   ([`ServeReport`], [`TenantSummary`]): sustained QPS, queue wait,
+//!   p50/p99 latency, cache hit rate, per-device utilisation.
 //!
 //! # Determinism
 //!
 //! Every per-query *result* (embedding count, partition sequence,
 //! per-partition counts) is a pure function of `(q, g, FastConfig)` —
-//! independent of worker count, device count, admission interleaving, and
-//! cache hits (a cached plan is bit-identical to the plan a cold run would
-//! compute). Only *placement and timing* vary with concurrency. The
-//! property tests in `tests/prop_serve.rs` enforce this.
+//! independent of worker count, fleet composition (CPU-only, FPGA-only,
+//! mixed), admission interleaving, and cache hits (a cached plan is
+//! bit-identical to the plan a cold run would compute). Only *placement
+//! and timing* vary with concurrency. The property tests in
+//! `tests/prop_serve.rs` and `tests/prop_backend.rs` enforce this.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use graph_core::{benchmark_query, generators::{generate_ldbc, LdbcParams}};
-//! use serve::{FastService, ServeConfig};
+//! use serve::{FastService, ServeConfig, TenantConfig};
 //!
 //! let g = generate_ldbc(&LdbcParams::with_scale_factor(0.05), 42);
 //! let service = FastService::new(g, ServeConfig::default());
-//! let a = service.submit(benchmark_query(0));
+//! // A second tenant with triple the fair-share quota and its own graph.
+//! let g2 = generate_ldbc(&LdbcParams::with_scale_factor(0.05), 7);
+//! let t2 = service
+//!     .add_tenant(g2, TenantConfig { quota: 3, ..TenantConfig::default() })
+//!     .unwrap();
+//! let a = service.submit(benchmark_query(0)); // default tenant
 //! let b = service.submit(benchmark_query(0)); // plan served from cache
+//! let c = service.submit_for(t2, benchmark_query(0)).unwrap();
 //! let (ra, rb) = (a.wait().unwrap(), b.wait().unwrap());
 //! assert_eq!(ra.embeddings, rb.embeddings);
+//! assert_eq!(c.wait().unwrap().tenant, t2);
 //! let report = service.shutdown();
-//! assert_eq!(report.completed, 2);
+//! assert_eq!(report.completed, 3);
+//! assert_eq!(report.tenants.len(), 2);
 //! ```
 
 pub mod cache;
 pub mod devices;
 pub mod metrics;
 pub mod service;
+pub mod tenant;
 
 pub use cache::{CacheStats, PlanCache};
-pub use devices::{DevicePool, DeviceStats};
-pub use metrics::ServeReport;
+pub use devices::{DeviceKind, DevicePool, DeviceStats};
+pub use metrics::{ServeReport, TenantSummary};
 pub use service::{
     FastService, PartitionUpdate, QueryReport, ServeConfig, ServeError, SessionEvent,
     SessionHandle,
 };
+pub use tenant::{TenantConfig, TenantId, INITIAL_GRAPH_EPOCH};

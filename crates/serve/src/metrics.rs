@@ -1,7 +1,9 @@
-//! Service-level metrics: the [`ServeReport`].
+//! Service-level metrics: the [`ServeReport`] and its per-tenant
+//! [`TenantSummary`] slices.
 
 use crate::cache::CacheStats;
 use crate::devices::DeviceStats;
+use crate::tenant::TenantId;
 
 /// Nearest-rank percentile of an already **sorted** slice (`q` in
 /// `[0, 1]`); 0.0 for an empty slice.
@@ -83,6 +85,36 @@ pub struct ServeReport {
     pub device_imbalance: f64,
     /// High-water mark of concurrently admitted sessions.
     pub max_in_flight: usize,
+    /// Per-tenant slices, ordered by tenant id (the default tenant first).
+    pub tenants: Vec<TenantSummary>,
+}
+
+/// One tenant's slice of the service report.
+#[derive(Debug, Clone)]
+pub struct TenantSummary {
+    /// The tenant the slice describes.
+    pub tenant: TenantId,
+    /// Fair-share weight of the admission round-robin.
+    pub quota: u32,
+    /// Current graph epoch (bumps invalidate the tenant's cached plans).
+    pub epoch: u64,
+    /// Sessions this tenant submitted.
+    pub submitted: u64,
+    /// Sessions completed for this tenant.
+    pub completed: u64,
+    /// Sessions failed for this tenant.
+    pub failed: u64,
+    /// Embeddings across the tenant's completed sessions.
+    pub total_embeddings: u64,
+    /// Completed sessions per second of the tenant's serving wall (its own
+    /// first submission → its own last completion).
+    pub qps: f64,
+    /// Tenant latency percentiles (seconds), same definition as the
+    /// service-wide ones.
+    pub latency_p50: f64,
+    pub latency_p99: f64,
+    /// Hit rate of the tenant's plan-cache partition.
+    pub hit_rate: f64,
 }
 
 impl ServeReport {

@@ -1,39 +1,45 @@
-//! The [`FastService`]: admission, sessions, workers, and reporting.
+//! The [`FastService`]: tenants, admission, sessions, workers, reporting.
 //!
 //! # Life of a query
 //!
-//! 1. [`FastService::submit`] blocks while `max_in_flight` sessions are
-//!    already admitted (backpressure), then enqueues the submission and
-//!    returns a [`SessionHandle`].
-//! 2. A worker thread picks the submission up (queue wait ends), derives
-//!    the BFS tree / matching order / kernel plan **once**, and derives the
-//!    plan-cache key from the same tree — the cached-plan path never
-//!    recomputes the query fingerprint or tree.
-//! 3. On a cache hit the stored [`cst::ShardPlan`] rides into
-//!    [`fast::prepare_partitions`] through [`FastConfig::shard_plan`] and
-//!    the probe/boundary search is skipped; on a miss the freshly computed
-//!    plan is inserted for the next repeat.
+//! 1. [`FastService::submit_for`] blocks while `max_in_flight` sessions are
+//!    already admitted (backpressure), then enqueues the submission on its
+//!    tenant's lane of the weighted round-robin session table and returns a
+//!    [`SessionHandle`]. Queued sessions are table entries, not blocked OS
+//!    threads.
+//! 2. A worker thread pops the next submission in deficit-round-robin
+//!    order across tenants (queue wait ends) — under saturation every
+//!    backlogged tenant is served in proportion to its quota. The worker
+//!    derives the BFS tree / matching order / kernel plan **once**, and
+//!    derives the plan-cache key from the same tree plus the *tenant's*
+//!    graph epoch.
+//! 3. On a hit in the tenant's plan-cache partition the stored
+//!    [`cst::ShardPlan`] rides into [`fast::prepare_partitions`] through
+//!    [`FastConfig::shard_plan`] and the probe/boundary search is skipped;
+//!    on a miss the freshly computed plan is inserted for the next repeat.
 //! 4. Each partition streaming out of the prepare phase is booked onto the
-//!    device with the shortest expected completion ([`DevicePool`]), executed on the
-//!    emulated kernel, and its per-partition result count is sent to the
-//!    session handle immediately — callers see results as kernels drain.
-//! 5. The final [`QueryReport`] closes the session, service metrics are
-//!    folded in, and the admission slot is released.
+//!    pool device with the shortest expected completion ([`DevicePool`] —
+//!    emulated FPGA cards and CPU fallback shares priced under their own
+//!    cost models), executed on that backend, and its per-partition result
+//!    is sent to the session handle immediately.
+//! 5. The final [`QueryReport`] closes the session, service and tenant
+//!    metrics are folded in, and the admission slot is released.
 //!
 //! Serving executes every partition on the device pool (the multi-FPGA
-//! regime of Section VII-E); the single-run CPU-share scheduler
-//! (FAST-SHARE's δ) is not booked here — the devices are the scaled
-//! resource, and `run_fast` remains the one-shot path.
+//! regime of Section VII-E, generalised to heterogeneous backends); the
+//! single-run CPU-share scheduler (FAST-SHARE's δ) is not booked here —
+//! `run_fast` remains the one-shot path.
 
 use crate::cache::{CacheStats, PlanCache};
-use crate::devices::{DevicePool, DeviceStats};
-use crate::metrics::ServeReport;
+use crate::devices::{DeviceKind, DevicePool, DeviceStats};
+use crate::metrics::{ServeReport, TenantSummary};
+use crate::tenant::{TenantConfig, TenantId, WrrQueue};
 use cst::PlanKey;
-use fast::{prepare_partitions, run_kernel, CollectMode, FastConfig, KernelPlan, ShardPlanner};
+use fast::{prepare_partitions, BackendClass, FastConfig, KernelPlan, QueryCtx, ShardPlanner};
 use graph_core::{path_based_order, select_root, BfsTree, Graph, QueryGraph, VertexId};
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -42,21 +48,27 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Per-session FAST configuration (device spec, variant, CST options,
     /// planner). [`FastConfig::shard_plan`] is overwritten per session by
-    /// the cache outcome.
+    /// the cache outcome. When the fleet contains FPGA devices with less
+    /// BRAM than `fast.spec`, the session spec's BRAM is clamped down to
+    /// the fleet minimum so one shared partition stream fits every card.
     pub fast: FastConfig,
-    /// Emulated FPGA devices partitions are multiplexed across.
+    /// Emulated FPGA cards at `fast.spec` (the homogeneous base fleet).
     pub devices: usize,
+    /// Additional heterogeneous devices: FPGA cards with their own specs
+    /// and/or CPU fallback shares. The pool is `devices` base cards plus
+    /// one device per entry; an entirely empty fleet is
+    /// [`ServeError::NoDevices`].
+    pub extra_devices: Vec<DeviceKind>,
     /// Host worker threads executing sessions.
     pub workers: usize,
-    /// Plan-cache capacity (plans); 0 disables caching ("cold" serving).
+    /// Default plan-cache capacity of each tenant's cache partition
+    /// (plans); 0 disables caching ("cold" serving). Override per tenant
+    /// via [`TenantConfig::cache_capacity`].
     pub cache_capacity: usize,
-    /// Bounded in-flight depth: [`FastService::submit`] blocks once this
-    /// many sessions are admitted but not yet completed.
+    /// Bounded in-flight depth across all tenants:
+    /// [`FastService::submit`] blocks once this many sessions are admitted
+    /// but not yet completed.
     pub max_in_flight: usize,
-    /// Epoch of the loaded graph, folded into every cache key. Bump it
-    /// when serving a different (or mutated) graph so stale plans can
-    /// never hit.
-    pub graph_epoch: u64,
 }
 
 impl Default for ServeConfig {
@@ -71,25 +83,29 @@ impl Default for ServeConfig {
         ServeConfig {
             fast,
             devices: 2,
+            extra_devices: Vec::new(),
             workers: 2,
             cache_capacity: 64,
-            max_in_flight: 16,
-            graph_epoch: 0,
+            max_in_flight: 64,
         }
     }
 }
 
-/// One partition's result, streamed to the session as its kernel drains.
+/// One partition's result, streamed to the session as its backend drains.
 #[derive(Debug, Clone)]
 pub struct PartitionUpdate {
     /// Position in the session's deterministic partition sequence.
     pub index: usize,
-    /// Device the partition ran on.
+    /// Pool device the partition ran on.
     pub device: usize,
-    /// Embeddings found in this partition.
+    /// Class of the executing backend (FPGA card or CPU share).
+    pub backend: BackendClass,
+    /// Embeddings found in this partition (backend-independent).
     pub embeddings: u64,
-    /// Modelled kernel cycles the partition cost.
+    /// Modelled kernel cycles the partition cost (0 on CPU backends).
     pub kernel_cycles: u64,
+    /// Modelled execution seconds under the backend's own cost model.
+    pub modeled_sec: f64,
     /// Collected embeddings, when [`FastConfig::collect`] asks for them.
     pub collected: Vec<Vec<VertexId>>,
 }
@@ -97,13 +113,19 @@ pub struct PartitionUpdate {
 /// Final per-session report.
 #[derive(Debug, Clone)]
 pub struct QueryReport {
-    /// Session id (submission order).
+    /// Session id (submission order across all tenants).
     pub id: u64,
+    /// Tenant the session ran for.
+    pub tenant: TenantId,
+    /// Completion order across all tenants (0-based): the witness the
+    /// fairness tests rank — under saturation, windows of this sequence
+    /// split by tenant quota.
+    pub completion_seq: u64,
     /// Total embeddings across partitions.
     pub embeddings: u64,
     /// Partitions executed.
     pub partitions: usize,
-    /// Whether the shard plan came from the cache.
+    /// Whether the shard plan came from the tenant's cache partition.
     pub cache_hit: bool,
     /// Shard-planning wall time (~0 on a hit).
     pub plan_time: Duration,
@@ -113,23 +135,25 @@ pub struct QueryReport {
     /// session seeds every shard and skips the global top-down scan.
     pub seeded_shards: usize,
     /// Wall time from worker pickup to completion (build + partition +
-    /// inline emulated kernels).
+    /// inline emulated backends).
     pub service_time: Duration,
     /// Wall time from submission to worker pickup.
     pub queue_wait: Duration,
     /// Modelled device queueing delay: the worst queue this session's
     /// partitions joined behind (outstanding booked work on the assigned
-    /// device at admission, in modelled device seconds). The host wall
-    /// alone hides this contention — the emulated kernels run inline — so
-    /// it is folded into [`latency`](Self::latency).
+    /// device at its modelled rate, in seconds). The host wall alone hides
+    /// this contention — the emulated backends run inline — so it is
+    /// folded into [`latency`](Self::latency).
     pub device_queue_sec: f64,
     /// Wall time from submission to completion **plus** the modelled
     /// device queueing delay ([`device_queue_sec`](Self::device_queue_sec))
     /// — the device-faithful latency the service percentiles aggregate.
     pub latency: Duration,
-    /// Total modelled kernel cycles across the session's partitions.
+    /// Modelled kernel cycles across the session's FPGA-executed
+    /// partitions (CPU-executed partitions have no cycle notion).
     pub kernel_cycles: u64,
-    /// Modelled device-seconds of those cycles.
+    /// Modelled execution seconds across all partitions, each under its
+    /// executing backend's own cost model.
     pub device_sec: f64,
 }
 
@@ -145,13 +169,23 @@ pub enum SessionEvent {
     Failed(String),
 }
 
-/// Errors surfaced by [`SessionHandle::wait`].
+/// Typed service errors: session outcomes ([`Failed`](Self::Failed),
+/// [`Disconnected`](Self::Disconnected)) and construction/registration
+/// failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The service reported a failure for this session.
     Failed(String),
     /// The service shut down before the session finished.
     Disconnected,
+    /// The configured fleet has no devices at all.
+    NoDevices,
+    /// A tenant was registered with quota 0 (it could never be scheduled).
+    ZeroQuota,
+    /// The addressed tenant was never registered.
+    UnknownTenant(TenantId),
+    /// A tenant snapshot failed to load.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -159,6 +193,10 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Failed(msg) => write!(f, "session failed: {msg}"),
             ServeError::Disconnected => write!(f, "service shut down mid-session"),
+            ServeError::NoDevices => write!(f, "service has no devices (empty fleet)"),
+            ServeError::ZeroQuota => write!(f, "tenant quota must be >= 1"),
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServeError::Snapshot(msg) => write!(f, "snapshot load failed: {msg}"),
         }
     }
 }
@@ -166,8 +204,10 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// Caller-side handle of one submitted query.
+#[derive(Debug)]
 pub struct SessionHandle {
     id: u64,
+    tenant: TenantId,
     rx: mpsc::Receiver<SessionEvent>,
 }
 
@@ -175,6 +215,11 @@ impl SessionHandle {
     /// Session id (submission order, 0-based).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Tenant the session was submitted for.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Blocks for the next event; `None` once the session is over (after
@@ -196,8 +241,22 @@ impl SessionHandle {
     }
 }
 
+/// Everything the service keys by tenant: the loaded graph, its epoch,
+/// the fair-share quota, a private plan-cache partition, and metrics.
+struct TenantState {
+    id: TenantId,
+    graph: Arc<Graph>,
+    quota: u32,
+    /// Graph epoch folded into this tenant's plan-cache keys; bump on any
+    /// graph change so stale plans can never hit.
+    epoch: AtomicU64,
+    cache: Mutex<PlanCache>,
+    metrics: Mutex<MetricsState>,
+}
+
 struct Submission {
     id: u64,
+    tenant: Arc<TenantState>,
     query: QueryGraph,
     submitted: Instant,
     tx: mpsc::Sender<SessionEvent>,
@@ -281,96 +340,249 @@ struct MetricsState {
     last_done: Option<Instant>,
 }
 
+/// Point-in-time view of the device pool, taken under its lock and
+/// aggregated lock-free.
+struct PoolView {
+    stats: Vec<DeviceStats>,
+    makespan_sec: f64,
+    busy_sec: f64,
+    imbalance: f64,
+}
+
 struct Inner {
-    graph: Arc<Graph>,
     config: ServeConfig,
     next_id: AtomicU64,
-    cache: Mutex<PlanCache>,
-    /// Keys whose plan is being computed right now (single-flight): a
-    /// concurrent identical cold query waits for the owner's probe instead
-    /// of re-running it.
-    pending_plans: Mutex<HashSet<PlanKey>>,
+    next_seq: AtomicU64,
+    next_tenant: AtomicU32,
+    /// Registered tenants, ordered by id for deterministic report slices.
+    tenants: RwLock<BTreeMap<TenantId, Arc<TenantState>>>,
+    /// The compatibility tenant `submit` addresses, outside the registry
+    /// lock (the single-tenant hot path).
+    default_tenant: Arc<TenantState>,
+    /// Keys whose plan is being computed right now (single-flight, scoped
+    /// per tenant): a concurrent identical cold query waits for the
+    /// owner's probe instead of re-running it.
+    pending_plans: Mutex<HashSet<(TenantId, PlanKey)>>,
     pending_cond: Condvar,
     devices: Mutex<DevicePool>,
+    /// The queued session table: one weighted lane per tenant.
+    queue: Mutex<WrrQueue<Submission>>,
+    queue_cond: Condvar,
+    shutting_down: AtomicBool,
     gate: Mutex<Gate>,
     gate_cond: Condvar,
+    /// Service-wide metrics (per-tenant slices live in `TenantState`).
     metrics: Mutex<MetricsState>,
 }
 
-/// A running query-serving service over one loaded data graph.
+impl Inner {
+    fn tenant(&self, id: TenantId) -> Result<Arc<TenantState>, ServeError> {
+        if id == self.default_tenant.id {
+            return Ok(Arc::clone(&self.default_tenant));
+        }
+        self.tenants
+            .read()
+            .expect("tenant registry")
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownTenant(id))
+    }
+}
+
+/// A running multi-tenant query-serving service over a pool of execution
+/// backends.
 pub struct FastService {
     inner: Arc<Inner>,
-    // Behind a Mutex so `&FastService` is shareable across submitter
-    // threads regardless of `mpsc::Sender`'s `Sync`-ness; taken out on
-    // shutdown to hang the workers' `recv` up.
-    tx: Mutex<Option<mpsc::Sender<Submission>>>,
     workers: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for FastService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastService")
+            .field("workers", &self.workers.len())
+            .field("max_in_flight", &self.inner.config.max_in_flight)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FastService {
-    /// Loads `graph` into a service and spawns its worker pool. Accepts a
-    /// plain [`Graph`] or a shared [`Arc<Graph>`] — benchmarks spinning up
-    /// several services over one dataset should share the `Arc` instead of
-    /// deep-cloning the graph per service.
+    /// Loads `graph` as the default tenant and spawns the worker pool;
+    /// panics on an invalid fleet (use [`FastService::try_new`] for the
+    /// typed error). Accepts a plain [`Graph`] or a shared [`Arc<Graph>`].
     pub fn new(graph: impl Into<Arc<Graph>>, config: ServeConfig) -> Self {
+        Self::try_new(graph, config).expect("service construction")
+    }
+
+    /// Fallible construction: an empty device fleet is
+    /// [`ServeError::NoDevices`] instead of a panic.
+    pub fn try_new(
+        graph: impl Into<Arc<Graph>>,
+        mut config: ServeConfig,
+    ) -> Result<Self, ServeError> {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_in_flight >= 1, "need in-flight depth >= 1");
-        let inner = Arc::new(Inner {
+        let pool = DevicePool::build(&config.fast, config.devices, &config.extra_devices)?;
+        // One partition stream feeds every card: partitions must fit the
+        // smallest FPGA BRAM in the fleet.
+        if let Some(min_bram) = pool.min_fpga_bram() {
+            config.fast.spec.bram_bytes = config.fast.spec.bram_bytes.min(min_bram);
+        }
+        let default_tenant = Arc::new(TenantState {
+            id: TenantId::DEFAULT,
+            graph: graph.into(),
+            quota: 1,
+            epoch: AtomicU64::new(TenantConfig::default().epoch),
             cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            metrics: Mutex::new(MetricsState::default()),
+        });
+        let mut queue = WrrQueue::new();
+        queue.add_lane(TenantId::DEFAULT, default_tenant.quota);
+        let mut tenants = BTreeMap::new();
+        tenants.insert(TenantId::DEFAULT, Arc::clone(&default_tenant));
+        let inner = Arc::new(Inner {
+            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            next_tenant: AtomicU32::new(1),
+            tenants: RwLock::new(tenants),
+            default_tenant,
             pending_plans: Mutex::new(HashSet::new()),
             pending_cond: Condvar::new(),
-            devices: Mutex::new(DevicePool::new(config.devices)),
+            devices: Mutex::new(pool),
+            queue: Mutex::new(queue),
+            queue_cond: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
             gate: Mutex::new(Gate::default()),
             gate_cond: Condvar::new(),
             metrics: Mutex::new(MetricsState::default()),
-            next_id: AtomicU64::new(0),
-            graph: graph.into(),
             config,
         });
-        let (tx, rx) = mpsc::channel::<Submission>();
-        let rx = Arc::new(Mutex::new(rx));
         let workers = (0..inner.config.workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
-                let rx = Arc::clone(&rx);
                 std::thread::spawn(move || loop {
-                    // Hold the receiver lock only for the dequeue itself.
-                    let sub = match rx.lock().expect("submission queue").recv() {
-                        Ok(sub) => sub,
-                        Err(_) => return,
+                    // Pop the next submission in weighted round-robin
+                    // order; hold the table lock only for the pop.
+                    let sub = {
+                        let mut queue = inner.queue.lock().expect("session table");
+                        loop {
+                            if let Some(sub) = queue.pop() {
+                                break sub;
+                            }
+                            if inner.shutting_down.load(Ordering::Acquire) {
+                                return;
+                            }
+                            queue = inner.queue_cond.wait(queue).expect("session table");
+                        }
                     };
                     // A panicking session must not kill the worker: its
                     // admission slot is released by SlotGuard during the
                     // unwind, its handle sees Disconnected (the event
                     // sender drops), and the failure is counted here.
+                    let tenant = Arc::clone(&sub.tenant);
                     let outcome = std::panic::catch_unwind(
                         std::panic::AssertUnwindSafe(|| serve_one(&inner, sub)),
                     );
                     if outcome.is_err() {
+                        let now = Instant::now();
                         if let Ok(mut m) = inner.metrics.lock() {
                             m.failed += 1;
-                            m.last_done = Some(Instant::now());
+                            m.last_done = Some(now);
+                        }
+                        if let Ok(mut m) = tenant.metrics.lock() {
+                            m.failed += 1;
+                            m.last_done = Some(now);
                         }
                     }
                 })
             })
             .collect();
-        FastService {
-            inner,
-            tx: Mutex::new(Some(tx)),
-            workers,
+        Ok(FastService { inner, workers })
+    }
+
+    /// Registers a tenant: its own graph, epoch, fair-share quota, and
+    /// plan-cache partition. Zero quotas are rejected
+    /// ([`ServeError::ZeroQuota`]) — such a tenant could never be
+    /// scheduled.
+    pub fn add_tenant(
+        &self,
+        graph: impl Into<Arc<Graph>>,
+        config: TenantConfig,
+    ) -> Result<TenantId, ServeError> {
+        if config.quota == 0 {
+            return Err(ServeError::ZeroQuota);
         }
+        let id = TenantId::new(self.inner.next_tenant.fetch_add(1, Ordering::Relaxed));
+        let capacity = config
+            .cache_capacity
+            .unwrap_or(self.inner.config.cache_capacity);
+        let state = Arc::new(TenantState {
+            id,
+            graph: graph.into(),
+            quota: config.quota,
+            epoch: AtomicU64::new(config.epoch),
+            cache: Mutex::new(PlanCache::new(capacity)),
+            metrics: Mutex::new(MetricsState::default()),
+        });
+        // Lane before registry: a submission can only name the tenant
+        // after `add_tenant` returns, and by then both exist.
+        self.inner
+            .queue
+            .lock()
+            .expect("session table")
+            .add_lane(id, config.quota);
+        self.inner
+            .tenants
+            .write()
+            .expect("tenant registry")
+            .insert(id, state);
+        Ok(id)
     }
 
-    /// The loaded data graph.
+    /// Registers a tenant from a binary CSR snapshot
+    /// (`graph_core::snapshot`) — the restart path that skips graph
+    /// rebuild entirely.
+    pub fn load_tenant_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        config: TenantConfig,
+    ) -> Result<TenantId, ServeError> {
+        let graph = graph_core::load_snapshot(path)
+            .map_err(|e| ServeError::Snapshot(e.to_string()))?;
+        self.add_tenant(graph, config)
+    }
+
+    /// The default tenant's data graph.
     pub fn graph(&self) -> &Graph {
-        self.inner.graph.as_ref()
+        self.inner.default_tenant.graph.as_ref()
     }
 
-    /// Submits a query, **blocking while the service is at its in-flight
-    /// bound** (backpressure — a closed-loop client slows down instead of
-    /// growing an unbounded queue).
+    /// A tenant's loaded data graph.
+    pub fn tenant_graph(&self, tenant: TenantId) -> Result<Arc<Graph>, ServeError> {
+        Ok(Arc::clone(&self.inner.tenant(tenant)?.graph))
+    }
+
+    /// Bumps a tenant's graph epoch (after mutating/replacing its graph),
+    /// invalidating every cached plan for it. Returns the new epoch.
+    pub fn bump_epoch(&self, tenant: TenantId) -> Result<u64, ServeError> {
+        let state = self.inner.tenant(tenant)?;
+        Ok(state.epoch.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Submits a query for the default tenant, **blocking while the
+    /// service is at its in-flight bound** (backpressure — a closed-loop
+    /// client slows down instead of growing an unbounded queue).
     pub fn submit(&self, query: QueryGraph) -> SessionHandle {
+        self.submit_for(TenantId::DEFAULT, query)
+            .expect("default tenant always exists")
+    }
+
+    /// Submits a query for `tenant`, blocking at the in-flight bound.
+    pub fn submit_for(
+        &self,
+        tenant: TenantId,
+        query: QueryGraph,
+    ) -> Result<SessionHandle, ServeError> {
+        let state = self.inner.tenant(tenant)?;
         {
             let gate = self.inner.gate.lock().expect("gate");
             let mut gate = self
@@ -381,11 +593,11 @@ impl FastService {
             gate.in_flight += 1;
             gate.max_seen = gate.max_seen.max(gate.in_flight);
         }
-        self.enqueue(query)
+        Ok(self.enqueue(state, query))
     }
 
-    /// Non-blocking admission: returns the query back when the service is
-    /// saturated.
+    /// Non-blocking admission for the default tenant: returns the query
+    /// back when the service is saturated.
     pub fn try_submit(&self, query: QueryGraph) -> Result<SessionHandle, QueryGraph> {
         {
             let mut gate = self.inner.gate.lock().expect("gate");
@@ -395,11 +607,12 @@ impl FastService {
             gate.in_flight += 1;
             gate.max_seen = gate.max_seen.max(gate.in_flight);
         }
-        Ok(self.enqueue(query))
+        Ok(self.enqueue(Arc::clone(&self.inner.default_tenant), query))
     }
 
-    fn enqueue(&self, query: QueryGraph) -> SessionHandle {
+    fn enqueue(&self, tenant: Arc<TenantState>, query: QueryGraph) -> SessionHandle {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let tenant_id = tenant.id;
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         {
@@ -407,20 +620,31 @@ impl FastService {
             m.submitted += 1;
             m.first_submit.get_or_insert(now);
         }
+        {
+            let mut m = tenant.metrics.lock().expect("tenant metrics");
+            m.submitted += 1;
+            m.first_submit.get_or_insert(now);
+        }
         let submission = Submission {
             id,
+            tenant,
             query,
             submitted: now,
             tx,
         };
-        self.tx
+        let pushed = self
+            .inner
+            .queue
             .lock()
-            .expect("sender")
-            .as_ref()
-            .expect("service is running")
-            .send(submission)
-            .expect("workers outlive the sender");
-        SessionHandle { id, rx }
+            .expect("session table")
+            .push(tenant_id, submission);
+        debug_assert!(pushed, "validated tenant must have a lane");
+        self.inner.queue_cond.notify_one();
+        SessionHandle {
+            id,
+            tenant: tenant_id,
+            rx,
+        }
     }
 
     /// A point-in-time service report (callable while serving). Each lock
@@ -429,46 +653,100 @@ impl FastService {
     /// admission or dispatch.
     pub fn report(&self) -> ServeReport {
         let metrics = self.inner.metrics.lock().expect("metrics").clone();
-        let cache = self.inner.cache.lock().expect("cache").stats();
-        let devices = self.inner.devices.lock().expect("devices").clone();
+        let tenants: Vec<Arc<TenantState>> = self
+            .inner
+            .tenants
+            .read()
+            .expect("tenant registry")
+            .values()
+            .cloned()
+            .collect();
+        let mut cache = CacheStats::default();
+        let mut summaries = Vec::with_capacity(tenants.len());
+        for t in &tenants {
+            cache.absorb(&t.cache.lock().expect("tenant cache").stats());
+            summaries.push(tenant_summary(t));
+        }
+        let pool = {
+            let devices = self.inner.devices.lock().expect("devices");
+            PoolView {
+                stats: devices.snapshot(),
+                makespan_sec: devices.makespan_sec(),
+                busy_sec: devices.busy_sec(),
+                imbalance: devices.imbalance(),
+            }
+        };
         let max_seen = self.inner.gate.lock().expect("gate").max_seen;
-        assemble_report(&self.inner.config, &metrics, cache, &devices, max_seen)
+        assemble_report(&metrics, cache, &pool, max_seen, summaries)
     }
 
-    /// Stops accepting submissions, drains in-flight sessions, joins the
-    /// workers, and returns the final report.
+    /// A single tenant's report slice.
+    pub fn tenant_report(&self, tenant: TenantId) -> Result<TenantSummary, ServeError> {
+        let state = self.inner.tenant(tenant)?;
+        Ok(tenant_summary(&state))
+    }
+
+    /// Stops accepting submissions, drains queued and in-flight sessions,
+    /// joins the workers, and returns the final report.
     pub fn shutdown(mut self) -> ServeReport {
-        *self.tx.lock().expect("sender") = None;
+        self.stop_workers();
+        self.report()
+    }
+
+    fn stop_workers(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.queue_cond.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        self.report()
     }
 }
 
 impl Drop for FastService {
     fn drop(&mut self) {
-        // `shutdown` already joined; otherwise detach cleanly by hanging
-        // up the queue so workers exit after draining it.
-        *self.tx.lock().expect("sender") = None;
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        // `shutdown` already joined; otherwise detach cleanly — workers
+        // drain the session table, then observe the flag and exit.
+        self.stop_workers();
+    }
+}
+
+fn tenant_summary(t: &TenantState) -> TenantSummary {
+    let m = t.metrics.lock().expect("tenant metrics").clone();
+    let cache = t.cache.lock().expect("tenant cache").stats();
+    let wall_sec = match (m.first_submit, m.last_done) {
+        (Some(a), Some(b)) => b.saturating_duration_since(a).as_secs_f64(),
+        _ => 0.0,
+    };
+    TenantSummary {
+        tenant: t.id,
+        quota: t.quota,
+        epoch: t.epoch.load(Ordering::Relaxed),
+        submitted: m.submitted,
+        completed: m.completed,
+        failed: m.failed,
+        total_embeddings: m.total_embeddings,
+        qps: if wall_sec > 0.0 {
+            m.completed as f64 / wall_sec
+        } else {
+            0.0
+        },
+        latency_p50: crate::metrics::percentile(m.latencies.as_slice(), 0.50),
+        latency_p99: crate::metrics::percentile(m.latencies.as_slice(), 0.99),
+        hit_rate: cache.hit_rate(),
     }
 }
 
 fn assemble_report(
-    config: &ServeConfig,
     m: &MetricsState,
     cache: CacheStats,
-    devices: &DevicePool,
+    pool: &PoolView,
     max_in_flight: usize,
+    tenants: Vec<TenantSummary>,
 ) -> ServeReport {
     let wall_sec = match (m.first_submit, m.last_done) {
         (Some(a), Some(b)) => b.saturating_duration_since(a).as_secs_f64(),
         _ => 0.0,
     };
-    let device_stats: Vec<DeviceStats> = devices.snapshot();
     let mut report = ServeReport {
         submitted: m.submitted,
         completed: m.completed,
@@ -485,11 +763,12 @@ fn assemble_report(
             0.0
         },
         wall_sec,
-        device_makespan_sec: devices.makespan_sec(&config.fast.spec),
-        device_busy_sec: config.fast.spec.cycles_to_sec(devices.total_cycles()),
-        device_imbalance: devices.imbalance(),
-        devices: device_stats,
+        device_makespan_sec: pool.makespan_sec,
+        device_busy_sec: pool.busy_sec,
+        device_imbalance: pool.imbalance,
+        devices: pool.stats.clone(),
         max_in_flight,
+        tenants,
         ..ServeReport::default()
     };
     report.aggregate(
@@ -503,12 +782,11 @@ fn assemble_report(
     report
 }
 
-/// Executes one session on the calling worker thread.
 /// Removes a key from the single-flight set on drop — including on a
 /// panicking unwind, so a wedged owner can never block waiters forever.
 struct FlightGuard<'a> {
     inner: &'a Inner,
-    key: PlanKey,
+    key: (TenantId, PlanKey),
 }
 
 impl Drop for FlightGuard<'_> {
@@ -535,13 +813,15 @@ impl Drop for SlotGuard<'_> {
     }
 }
 
+/// Executes one session on the calling worker thread.
 fn serve_one(inner: &Inner, sub: Submission) {
     // Admission slot released when this frame unwinds, panicking or not.
     let _slot = SlotGuard { inner };
     let picked = Instant::now();
     let queue_wait = picked.duration_since(sub.submitted);
     let q = &sub.query;
-    let g: &Graph = &inner.graph;
+    let tenant = &sub.tenant;
+    let g: &Graph = &tenant.graph;
 
     // Derive tree/order/kernel-plan once; the cache key reuses this tree.
     let root = select_root(q, g);
@@ -551,35 +831,44 @@ fn serve_one(inner: &Inner, sub: Submission) {
         Ok(p) => p,
         Err(e) => {
             let _ = sub.tx.send(SessionEvent::Failed(e.to_string()));
-            finish(inner, FinishOutcome::Failed);
+            finish(inner, tenant, FinishOutcome::Failed);
             return;
         }
     };
 
-    // Plan cache: hit → the stored plan skips the probe inside
-    // `prepare_partitions`; miss → the plan is computed *here* (the same
-    // `plan_pipeline_shards` the pipeline would call) and published to the
-    // cache immediately, before the session's build/execute starts.
-    // Misses are single-flight: a concurrent identical query waits only
-    // for the owner's planning (not its whole session), then reads the
-    // freshly inserted plan as a hit.
+    // Plan cache (the tenant's partition): hit → the stored plan skips the
+    // probe inside `prepare_partitions`; miss → the plan is computed
+    // *here* (the same `plan_pipeline_shards` the pipeline would call) and
+    // published immediately, before the session's build/execute starts.
+    // Misses are single-flight per (tenant, key): a concurrent identical
+    // query waits only for the owner's planning (not its whole session),
+    // then reads the freshly inserted plan as a hit.
     let mut config = inner.config.fast.clone();
     let pipe_opts = config.pipeline_options(q.vertex_count());
-    let key = PlanKey::derive(q, &tree, &pipe_opts, inner.config.graph_epoch);
-    let (cached, flight) = if inner.config.cache_capacity > 0 {
+    let epoch = tenant.epoch.load(Ordering::Relaxed);
+    let key = PlanKey::derive(q, &tree, &pipe_opts, epoch);
+    let flight_key = (tenant.id, key);
+    let cache_enabled = tenant.cache.lock().expect("tenant cache").capacity() > 0;
+    let (cached, flight) = if cache_enabled {
         let mut pending = inner.pending_plans.lock().expect("pending plans");
-        while pending.contains(&key) {
+        while pending.contains(&flight_key) {
             pending = inner.pending_cond.wait(pending).expect("pending plans");
         }
-        match inner.cache.lock().expect("cache").get(&key) {
+        match tenant.cache.lock().expect("tenant cache").get(&key) {
             Some(plan) => (Some(plan), None),
             None => {
-                pending.insert(key);
-                (None, Some(FlightGuard { inner, key }))
+                pending.insert(flight_key);
+                (
+                    None,
+                    Some(FlightGuard {
+                        inner,
+                        key: flight_key,
+                    }),
+                )
             }
         }
     } else {
-        (inner.cache.lock().expect("cache").get(&key), None)
+        (tenant.cache.lock().expect("tenant cache").get(&key), None)
     };
     let cache_hit = cached.is_some();
     let mut measured_plan_time = Duration::ZERO;
@@ -590,11 +879,11 @@ fn serve_one(inner: &Inner, sub: Submission) {
             let roots = cst::root_candidates(q, g, &tree, pipe_opts.cst);
             let plan = Arc::new(cst::plan_pipeline_shards(q, g, &tree, &pipe_opts, &roots));
             measured_plan_time = t0.elapsed();
-            if inner.config.cache_capacity > 0 {
-                inner
+            if cache_enabled {
+                tenant
                     .cache
                     .lock()
-                    .expect("cache")
+                    .expect("tenant cache")
                     .insert(key, Arc::clone(&plan));
             }
             // Release the single-flight claim now that the plan is
@@ -606,43 +895,51 @@ fn serve_one(inner: &Inner, sub: Submission) {
     };
     config.shard_plan = Some(plan);
 
-    let model = config.cycle_model();
+    let ctx = QueryCtx {
+        query: q,
+        graph: g,
+        order: &order,
+        kernel_plan: &kernel_plan,
+        collect: config.collect,
+    };
     let mut embeddings = 0u64;
     let mut partitions = 0usize;
     let mut kernel_cycles = 0u64;
+    let mut device_sec = 0.0f64;
     let mut device_queue_sec = 0.0f64;
     let prep = prepare_partitions(q, g, &config, &tree, &order, &mut |job| {
-        let (device, queued_cycles) =
+        let (device, queued_sec, backend) =
             inner.devices.lock().expect("devices").admit(job.workload);
         // Partitions on different devices drain in parallel; the session's
         // completion is gated by the worst queue any of them joined.
-        device_queue_sec = device_queue_sec.max(config.spec.cycles_to_sec(queued_cycles));
-        let out = run_kernel(&job.cst, &kernel_plan, config.spec.no, config.collect);
-        let cycles = config.variant.kernel_cycles(&model, out.counts);
+        device_queue_sec = device_queue_sec.max(queued_sec);
+        // Execute outside the pool lock: concurrent sessions overlap on
+        // different devices.
+        let out = backend.execute(&job, &ctx);
         inner
             .devices
             .lock()
             .expect("devices")
-            .complete(device, job.workload, cycles);
+            .complete(device, job.workload, out.modeled_sec, out.kernel_cycles);
         embeddings += out.embeddings;
         partitions += 1;
-        kernel_cycles += cycles;
-        let collected = if matches!(config.collect, CollectMode::Collect(_)) {
-            out.collected
-        } else {
-            Vec::new()
-        };
+        kernel_cycles += out.kernel_cycles;
+        device_sec += out.modeled_sec;
         let _ = sub.tx.send(SessionEvent::Partition(PartitionUpdate {
             index: job.index,
             device,
+            backend: backend.spec().class,
             embeddings: out.embeddings,
-            kernel_cycles: cycles,
-            collected,
+            kernel_cycles: out.kernel_cycles,
+            modeled_sec: out.modeled_sec,
+            collected: out.collected,
         }));
     });
     let now = Instant::now();
     let report = QueryReport {
         id: sub.id,
+        tenant: tenant.id,
+        completion_seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
         embeddings,
         partitions,
         cache_hit,
@@ -656,10 +953,10 @@ fn serve_one(inner: &Inner, sub: Submission) {
         device_queue_sec,
         latency: now.duration_since(sub.submitted) + Duration::from_secs_f64(device_queue_sec),
         kernel_cycles,
-        device_sec: config.spec.cycles_to_sec(kernel_cycles),
+        device_sec,
     };
     let _ = sub.tx.send(SessionEvent::Done(report.clone()));
-    finish(inner, FinishOutcome::Completed(report));
+    finish(inner, tenant, FinishOutcome::Completed(report));
 }
 
 enum FinishOutcome {
@@ -667,11 +964,11 @@ enum FinishOutcome {
     Failed,
 }
 
-/// Folds a session's outcome into the service metrics. The admission slot
-/// is released by the session's `SlotGuard`, not here.
-fn finish(inner: &Inner, outcome: FinishOutcome) {
-    let mut m = inner.metrics.lock().expect("metrics");
-    match outcome {
+/// Folds a session's outcome into the service-wide and tenant metrics.
+/// The admission slot is released by the session's `SlotGuard`, not here.
+fn finish(inner: &Inner, tenant: &TenantState, outcome: FinishOutcome) {
+    let now = Instant::now();
+    let fold = |m: &mut MetricsState| match &outcome {
         FinishOutcome::Completed(report) => {
             m.completed += 1;
             m.total_embeddings += report.embeddings;
@@ -684,13 +981,15 @@ fn finish(inner: &Inner, outcome: FinishOutcome) {
             } else {
                 m.plan_misses.push(plan_sec);
             }
-            m.last_done = Some(Instant::now());
+            m.last_done = Some(now);
         }
         FinishOutcome::Failed => {
             m.failed += 1;
-            m.last_done = Some(Instant::now());
+            m.last_done = Some(now);
         }
-    }
+    };
+    fold(&mut inner.metrics.lock().expect("metrics"));
+    fold(&mut tenant.metrics.lock().expect("tenant metrics"));
 }
 
 #[cfg(test)]
@@ -708,10 +1007,10 @@ mod tests {
                 f
             },
             devices: 2,
+            extra_devices: Vec::new(),
             workers: 2,
             cache_capacity: 8,
             max_in_flight: 4,
-            graph_epoch: 0,
         }
     }
 
@@ -733,6 +1032,7 @@ mod tests {
             handles.into_iter().map(|h| h.wait().unwrap()).collect();
         let first = reports[0].embeddings;
         assert!(reports.iter().all(|r| r.embeddings == first));
+        assert!(reports.iter().all(|r| r.tenant == TenantId::DEFAULT));
         let final_report = service.shutdown();
         assert_eq!(final_report.completed, 6);
         assert_eq!(final_report.failed, 0);
@@ -741,6 +1041,10 @@ mod tests {
         assert!(final_report.cache.hits >= 1, "{:?}", final_report.cache);
         assert_eq!(final_report.total_embeddings, 6 * first);
         assert!(final_report.qps > 0.0);
+        // Single-tenant compatibility: the default tenant's slice carries
+        // the whole service.
+        assert_eq!(final_report.tenants.len(), 1);
+        assert_eq!(final_report.tenants[0].completed, 6);
     }
 
     #[test]
@@ -754,6 +1058,7 @@ mod tests {
             match handle.next_event().expect("session alive") {
                 SessionEvent::Partition(u) => {
                     assert!(u.device < 2);
+                    assert_eq!(u.backend, BackendClass::Fpga);
                     streamed += u.embeddings;
                     updates += 1;
                 }
@@ -783,6 +1088,78 @@ mod tests {
         let report = service.shutdown();
         assert_eq!(report.failed, 1);
         assert_eq!(report.completed, 0);
+        assert_eq!(report.tenants[0].failed, 1);
+    }
+
+    #[test]
+    fn empty_fleet_and_zero_quota_are_typed_errors() {
+        let g = random_labelled_graph(20, 0.2, 1, 45);
+        let mut config = small_config();
+        config.devices = 0;
+        let err = FastService::try_new(g.clone(), config).unwrap_err();
+        assert_eq!(err, ServeError::NoDevices);
+
+        let service = FastService::new(g.clone(), small_config());
+        let err = service
+            .add_tenant(
+                g,
+                TenantConfig {
+                    quota: 0,
+                    ..TenantConfig::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, ServeError::ZeroQuota);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected() {
+        let g = random_labelled_graph(20, 0.2, 1, 45);
+        let service = FastService::new(g, small_config());
+        let ghost = TenantId::new(77);
+        let err = service.submit_for(ghost, triangle()).unwrap_err();
+        assert_eq!(err, ServeError::UnknownTenant(ghost));
+        assert!(service.tenant_report(ghost).is_err());
+        assert!(service.bump_epoch(ghost).is_err());
+        service.shutdown();
+    }
+
+    #[test]
+    fn second_tenant_serves_its_own_graph() {
+        // Tenant B's graph has different labels: the same query yields a
+        // different (zero) count, proving per-tenant graph routing.
+        let ga = random_labelled_graph(60, 0.25, 2, 46);
+        let gb = random_labelled_graph(40, 0.25, 1, 46); // single label: no (0,1,1) match
+        let service = FastService::new(ga, small_config());
+        let b = service
+            .add_tenant(gb, TenantConfig { quota: 3, ..TenantConfig::default() })
+            .unwrap();
+        let ra = service.submit(triangle()).wait().unwrap();
+        let rb = service.submit_for(b, triangle()).unwrap().wait().unwrap();
+        assert_eq!(rb.tenant, b);
+        assert!(ra.embeddings > 0, "tenant A should match");
+        assert_eq!(rb.embeddings, 0, "tenant B's single-label graph cannot");
+        let b_slice = service.tenant_report(b).unwrap();
+        assert_eq!(b_slice.completed, 1);
+        assert_eq!(b_slice.quota, 3);
+        let report = service.shutdown();
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cached_plans() {
+        let g = random_labelled_graph(60, 0.2, 2, 47);
+        let service = FastService::new(g, small_config());
+        service.submit(triangle()).wait().unwrap();
+        service.submit(triangle()).wait().unwrap();
+        let warm_hits = service.report().cache.hits;
+        assert!(warm_hits >= 1, "repeat should hit");
+        assert_eq!(service.bump_epoch(TenantId::DEFAULT).unwrap(), 1);
+        let r = service.submit(triangle()).wait().unwrap();
+        assert!(!r.cache_hit, "epoch bump must invalidate the cached plan");
+        service.shutdown();
     }
 
     #[test]
@@ -835,13 +1212,14 @@ mod tests {
         m.queue_waits.push(0.0);
         m.device_queues.push(0.0);
         m.plan_misses.push(0.0);
-        let r = assemble_report(
-            &small_config(),
-            &m,
-            CacheStats::default(),
-            &DevicePool::new(1),
-            1,
-        );
+        let pool = DevicePool::fpga_fleet(&small_config().fast, 1).unwrap();
+        let view = PoolView {
+            stats: pool.snapshot(),
+            makespan_sec: pool.makespan_sec(),
+            busy_sec: pool.busy_sec(),
+            imbalance: pool.imbalance(),
+        };
+        let r = assemble_report(&m, CacheStats::default(), &view, 1, Vec::new());
         assert!(r.is_finite(), "zero-wall report must stay finite: {r:?}");
         assert_eq!(r.qps, 0.0, "zero wall yields zero QPS, not inf/NaN");
         assert_eq!(r.wall_sec, 0.0);
@@ -873,5 +1251,30 @@ mod tests {
         assert_eq!(a, b);
         let report = service.shutdown();
         assert!(report.max_in_flight <= 1);
+    }
+
+    #[test]
+    fn heterogeneous_pool_matches_fpga_only_counts() {
+        let g = random_labelled_graph(60, 0.25, 2, 48);
+        let baseline = FastService::new(g.clone(), small_config());
+        let want = baseline.submit(triangle()).wait().unwrap().embeddings;
+        baseline.shutdown();
+
+        let mut config = small_config();
+        config.devices = 1;
+        config.extra_devices = vec![DeviceKind::Cpu { threads: 4 }];
+        let service = FastService::new(g, config);
+        let reports: Vec<QueryReport> = (0..4)
+            .map(|_| service.submit(triangle()))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.wait().unwrap())
+            .collect();
+        assert!(reports.iter().all(|r| r.embeddings == want));
+        let report = service.shutdown();
+        assert_eq!(report.devices.len(), 2);
+        assert_eq!(report.devices[0].class, BackendClass::Fpga);
+        assert_eq!(report.devices[1].class, BackendClass::Cpu);
+        assert!(report.is_finite());
     }
 }

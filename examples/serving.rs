@@ -27,10 +27,10 @@ fn main() {
         ServeConfig {
             fast,
             devices: 4,
+            extra_devices: Vec::new(),
             workers: 4,
             cache_capacity: 32,
             max_in_flight: 8,
-            graph_epoch: 0,
         },
     );
 

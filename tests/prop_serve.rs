@@ -41,10 +41,10 @@ fn service_config(planner: ShardPlanner, devices: usize, workers: usize) -> Serv
     ServeConfig {
         fast,
         devices,
+        extra_devices: Vec::new(),
         workers,
         cache_capacity: 16,
         max_in_flight: 8,
-        graph_epoch: 0,
     }
 }
 
