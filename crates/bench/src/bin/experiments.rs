@@ -5,7 +5,7 @@
 //!
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
-//!        | hostscale | shardplan | serving | tenants | snapshot
+//!        | hostscale | shardplan | serving | tenants | cstcache | snapshot
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -28,7 +28,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants snapshot"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants cstcache snapshot"
                 );
                 std::process::exit(0);
             }
@@ -173,6 +173,18 @@ fn main() {
         };
         let rows = multi_tenant::run(&mut cache, d, clients, requests);
         println!("{}", multi_tenant::render(d, &rows));
+    }
+    if wants("cstcache") {
+        // Tier-2 byte-budget sweep: warm serving at budgets 0 / tight /
+        // generous, self-asserting that tier-2 hits build nothing and
+        // resident bytes respect the budget; quick mode stays at DG01.
+        let (d, clients, requests): (DatasetId, usize, usize) = if opts.quick {
+            (DatasetId::Dg01, 2, 10)
+        } else {
+            (DatasetId::Dg03, 4, 16)
+        };
+        let rows = cst_cache::run(&mut cache, d, clients, requests);
+        println!("{}", cst_cache::render(d, &rows));
     }
     if wants("snapshot") {
         // Binary CSR snapshot round-trip: load-vs-build wall per dataset.

@@ -78,6 +78,14 @@ fn serve_config(fleet: Fleet, cache_capacity: usize, clients: usize) -> ServeCon
         extra_devices,
         workers: clients.clamp(1, 8),
         cache_capacity,
+        plan_cache_bytes: None,
+        // Cold cells disable both tiers; warm cells keep the default
+        // tier-2 byte budget so repeats replay the cached shard CSTs.
+        cst_cache_bytes: if cache_capacity == 0 {
+            0
+        } else {
+            ServeConfig::default().cst_cache_bytes
+        },
         max_in_flight: (2 * clients).max(1),
     }
 }
@@ -217,7 +225,7 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
         "QPS",
         "p50",
         "p99",
-        "hit rate",
+        "cst hit rate",
         "t0 (quota 1)",
         "t1 (quota 3)",
         "devices busy",
@@ -241,7 +249,7 @@ pub fn render(dataset: DatasetId, rows: &[Row]) -> String {
                 format!("{:.1}", r.report.qps),
                 ms(r.report.latency_p50),
                 ms(r.report.latency_p99),
-                format!("{:.0}%", r.report.cache.hit_rate() * 100.0),
+                format!("{:.0}%", r.report.cst_cache.hit_rate() * 100.0),
                 tenant_cell(&r.report.tenants[0]),
                 tenant_cell(&r.report.tenants[1]),
                 busy.join(" "),
@@ -280,13 +288,23 @@ mod tests {
             assert_eq!(r.report.tenants[1].quota, QUOTAS.1);
             if r.warm {
                 assert!(
-                    r.report.cache.hit_rate() > 0.5,
-                    "{}: warm hit rate {:.2}",
+                    r.report.cst_cache.hit_rate() > 0.5,
+                    "{}: warm tier-2 hit rate {:.2}",
                     r.fleet,
-                    r.report.cache.hit_rate()
+                    r.report.cst_cache.hit_rate()
+                );
+                assert_eq!(
+                    r.report.build_hit_mean_sec, 0.0,
+                    "{}: tier-2 hits must build nothing",
+                    r.fleet
                 );
             } else {
                 assert_eq!(r.report.cache.hits, 0, "{}: cold must never hit", r.fleet);
+                assert_eq!(
+                    r.report.cst_cache.hits, 0,
+                    "{}: cold tier 2 must never hit",
+                    r.fleet
+                );
             }
             let cycles: u64 = r.report.devices.iter().map(|d| d.cycles).sum();
             if r.fleet == Fleet::CpuOnly {

@@ -51,8 +51,9 @@ pub use partition::{
 };
 pub use cache::{plan_provenance, query_fingerprint, Fingerprint, PlanKey};
 pub use pipeline::{
-    build_cst_sharded, for_each_shard_cst, for_each_shard_cst_planned, merge_shard_csts,
-    PipelineOptions, PipelineStats, ShardCst, ShardReport, DEFAULT_SHARDS,
+    build_cst_sharded, for_each_shard_cst, for_each_shard_cst_cached, for_each_shard_cst_planned,
+    merge_shard_csts, CachedShards, PipelineOptions, PipelineStats, ShardCst, ShardReport,
+    DEFAULT_SHARDS,
 };
 pub use planner::{
     estimated_duplication, estimated_partition_ratio, plan_pipeline_shards, plan_shards,

@@ -140,6 +140,10 @@ pub struct ShardReport {
     /// Whether this shard was built from the probe's memoised candidate
     /// space (`build_cst_seeded`) instead of a cold top-down scan.
     pub seeded: bool,
+    /// Whether this shard's CST was replayed from a [`CachedShards`]
+    /// artifact — no build work at all (`build_time` ≈ 0,
+    /// `adjacency_entries` = 0): the tier-2 cache's zero-build witness.
+    pub cached: bool,
 }
 
 /// Aggregate statistics of a sharded pipeline run.
@@ -186,6 +190,10 @@ pub struct PipelineStats {
     /// 0 when every shard was seeded: the probe's single pass replaced the
     /// per-shard scans.
     pub topdown_entries: usize,
+    /// Shards replayed from a [`CachedShards`] artifact instead of being
+    /// built (seeded or cold). Either 0 or [`shards`](Self::shards): the
+    /// artifact is trusted whole or not at all.
+    pub cached_shards: usize,
 }
 
 impl PipelineStats {
@@ -210,11 +218,33 @@ impl PipelineStats {
 #[derive(Debug)]
 pub struct ShardCst {
     /// The shard's CST (root candidates restricted to the shard's chunk).
-    pub cst: Cst,
+    /// Shared, not owned: a consumer keeping the `Arc` (a tier-2 result
+    /// cache capturing the build) costs nothing over one that drops it.
+    pub cst: Arc<Cst>,
     /// Build statistics of this shard.
     pub stats: BuildStats,
     /// The shard report (also collected in [`PipelineStats`]).
     pub report: ShardReport,
+}
+
+/// Refined shard CSTs captured from an earlier pipeline run, replayable by
+/// [`for_each_shard_cst_cached`]. The shard CST is a pure function of
+/// `(q, g, tree, options, plan)`, so an artifact stamped with the plan's
+/// [`provenance`](ShardPlan::provenance) fingerprint can stand in for the
+/// whole build — refinement and adjacency materialisation included, which
+/// even a seeded build still pays. Trust is all-or-nothing: the artifact is
+/// replayed only when its provenance matches the freshly resolved plan's
+/// and it covers every shard; anything else falls back to a seeded/cold
+/// build (a wrong artifact must never corrupt results, only cost time).
+#[derive(Debug, Clone)]
+pub struct CachedShards {
+    /// Provenance fingerprint of the plan the shards were built under
+    /// (0 never matches — hand-assembled artifacts are never trusted).
+    pub provenance: u64,
+    /// The refined shard CSTs, in shard order, one per planned shard
+    /// (empty shards included, so the length check against the plan's
+    /// shard count is exact).
+    pub shards: Vec<Arc<Cst>>,
 }
 
 /// Splits `count` root candidates into `shards` chunks, returning the chunk
@@ -255,6 +285,9 @@ enum ShardInput {
         probe: Arc<RootProfile>,
         masks: Arc<SeedMasks>,
     },
+    /// A fully refined shard CST replayed from a [`CachedShards`] artifact:
+    /// no build work at all — the `Arc` is passed through.
+    Cached(Arc<Cst>),
 }
 
 /// Builds the shard with the given index. Pure function of its arguments —
@@ -268,15 +301,24 @@ fn build_shard(
     shard: usize,
 ) -> ShardCst {
     let t0 = Instant::now();
-    let (seeded, root_count, (cst, stats)) = match input {
+    let (seeded, cached, root_count, cst, stats) = match input {
         ShardInput::Roots(chunk) => {
             let roots = chunk.len();
-            (false, roots, build_cst_from_roots(q, g, tree, options, chunk))
+            let (cst, stats) = build_cst_from_roots(q, g, tree, options, chunk);
+            (false, false, roots, Arc::new(cst), stats)
         }
         ShardInput::Seed { chunk, probe, masks } => {
             let roots = chunk.len();
             let seed = probe.seed_shard(&masks, chunk, shard);
-            (true, roots, build_cst_seeded(q, g, tree, options, seed))
+            let (cst, stats) = build_cst_seeded(q, g, tree, options, seed);
+            (true, false, roots, Arc::new(cst), stats)
+        }
+        // Replay: the Arc passes through untouched. Zeroed build stats are
+        // the point — adjacency/top-down entries report the work *done*,
+        // and a replayed shard does none.
+        ShardInput::Cached(cst) => {
+            let roots = cst.candidates(tree.root()).len();
+            (false, true, roots, cst, BuildStats::default())
         }
     };
     // Stop the clock before the workload DP: it is a skew diagnostic, not
@@ -291,6 +333,7 @@ fn build_shard(
             adjacency_entries: stats.adjacency_entries,
             workload,
             seeded,
+            cached,
         },
         cst,
         stats,
@@ -330,6 +373,28 @@ pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
     tree: &BfsTree,
     options: &PipelineOptions,
     plan_override: Option<&ShardPlan>,
+    consume: F,
+) -> PipelineStats {
+    for_each_shard_cst_cached(q, g, tree, options, plan_override, None, consume)
+}
+
+/// [`for_each_shard_cst_planned`] with an optional [`CachedShards`]
+/// artifact: when the artifact's provenance matches the resolved plan's
+/// (and it covers every shard), every shard is *replayed* — zero top-down,
+/// refinement, and materialisation work; [`ShardReport::cached`] is set and
+/// `build_time`/`adjacency_entries` report (honestly) zero. A stale or
+/// foreign artifact is ignored and shards build seeded/cold as usual, so a
+/// wrong artifact can never corrupt results. Note the root-candidate scan
+/// and provenance re-derivation still run — this is the *validated* reuse
+/// path; a serving layer that already keys artifacts by `(PlanKey, epoch)`
+/// can skip the pipeline entirely (`fast::prepare_partitions`' replay).
+pub fn for_each_shard_cst_cached<F: FnMut(ShardCst)>(
+    q: &QueryGraph,
+    g: &Graph,
+    tree: &BfsTree,
+    options: &PipelineOptions,
+    plan_override: Option<&ShardPlan>,
+    cached: Option<&CachedShards>,
     mut consume: F,
 ) -> PipelineStats {
     let roots = root_candidates(q, g, tree, options.cst);
@@ -346,22 +411,30 @@ pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
     };
     let plan_time = plan_t0.elapsed();
     let shards = plan.shard_count();
+    // A cached-shard artifact is trusted only whole: provenance must match
+    // the *resolved* plan's (a pure function of the same inputs as the
+    // shard CSTs) and it must cover every shard. Anything else builds.
+    let replay = cached.filter(|c| {
+        plan.provenance != 0 && c.provenance == plan.provenance && c.shards.len() == shards
+    });
     // Seed-mask derivation (when the plan carries a probe and seeding is
     // on): one integer mask sweep per 64 shards over the probed candidate
     // space, replacing every shard's top-down scan. The per-shard
     // candidate-set extraction happens lazily on the *building* thread
     // (`ShardInput::Seed`), so peak memory stays bounded by the in-flight
-    // shards instead of all shards' duplicated candidate space.
+    // shards instead of all shards' duplicated candidate space. A replayed
+    // artifact supersedes seeding: there is no build left to seed.
     let seed_t0 = Instant::now();
-    let seed_artifacts: Option<(Arc<RootProfile>, Arc<SeedMasks>)> = if options.seed_builds {
-        plan.probe.as_ref().and_then(|probe| {
-            probe
-                .seed_masks(&plan, &roots)
-                .map(|masks| (Arc::clone(probe), Arc::new(masks)))
-        })
-    } else {
-        None
-    };
+    let seed_artifacts: Option<(Arc<RootProfile>, Arc<SeedMasks>)> =
+        if options.seed_builds && replay.is_none() {
+            plan.probe.as_ref().and_then(|probe| {
+                probe
+                    .seed_masks(&plan, &roots)
+                    .map(|masks| (Arc::clone(probe), Arc::new(masks)))
+            })
+        } else {
+            None
+        };
     let seed_time = if seed_artifacts.is_some() {
         seed_t0.elapsed()
     } else {
@@ -371,6 +444,9 @@ pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
     // Chunk extraction is part of planning, not of any shard's build time.
     let inputs: Vec<ShardInput> = (0..shards)
         .map(|s| {
+            if let Some(c) = replay {
+                return ShardInput::Cached(Arc::clone(&c.shards[s]));
+            }
             let chunk = plan.chunk_roots(&roots, s);
             match &seed_artifacts {
                 Some((probe, masks)) => ShardInput::Seed {
@@ -396,12 +472,16 @@ pub fn for_each_shard_cst_planned<F: FnMut(ShardCst)>(
         seeded_build_cpu: Duration::ZERO,
         seeded_shards,
         topdown_entries: 0,
+        cached_shards: 0,
     };
 
     let mut take = |shard: ShardCst, stats: &mut PipelineStats| {
         stats.build_cpu += shard.report.build_time;
         if shard.report.seeded {
             stats.seeded_build_cpu += shard.report.build_time;
+        }
+        if shard.report.cached {
+            stats.cached_shards += 1;
         }
         stats.topdown_entries += shard.stats.topdown_entries;
         stats.shard_reports.push(shard.report.clone());
@@ -497,7 +577,7 @@ pub fn build_cst_sharded(
 ) -> (Cst, PipelineStats) {
     let mut shards: Vec<ShardCst> = Vec::new();
     let stats = for_each_shard_cst(q, g, tree, options, |s| shards.push(s));
-    let merged = merge_shard_csts(q, shards.iter().map(|s| &s.cst));
+    let merged = merge_shard_csts(q, shards.iter().map(|s| s.cst.as_ref()));
     (merged, stats)
 }
 
@@ -708,6 +788,80 @@ mod tests {
         let guarded =
             for_each_shard_cst_planned(&q, &g, &tree, &opts, Some(&hand_built), |_| {});
         assert_eq!(guarded.plan.planner, crate::ShardPlanner::WorkloadBalanced);
+    }
+
+    #[test]
+    fn cached_shards_replay_bit_identically_and_stale_artifacts_rebuild() {
+        let (q, g, tree, order) = setup();
+        let opts = PipelineOptions {
+            threads: 1,
+            shards: Some(4),
+            planner: crate::ShardPlanner::WorkloadBalanced,
+            ..PipelineOptions::default()
+        };
+        // Capture the shard CSTs of a fresh run.
+        let mut captured: Vec<Arc<Cst>> = Vec::new();
+        let mut cold_counts = Vec::new();
+        let fresh = for_each_shard_cst(&q, &g, &tree, &opts, |s| {
+            cold_counts.push(count_embeddings(&s.cst, &q, &order));
+            captured.push(Arc::clone(&s.cst));
+        });
+        let artifact = CachedShards {
+            provenance: fresh.plan.provenance,
+            shards: captured,
+        };
+
+        // Replay: every shard is cached, zero build work, same counts —
+        // and the same Arc allocations (pointer-identical CSTs).
+        let mut warm_counts = Vec::new();
+        let mut ptrs_match = true;
+        let mut i = 0usize;
+        let warm = for_each_shard_cst_cached(
+            &q,
+            &g,
+            &tree,
+            &opts,
+            Some(&fresh.plan),
+            Some(&artifact),
+            |s| {
+                warm_counts.push(count_embeddings(&s.cst, &q, &order));
+                ptrs_match &= Arc::ptr_eq(&s.cst, &artifact.shards[i]);
+                i += 1;
+            },
+        );
+        assert_eq!(warm_counts, cold_counts);
+        assert!(ptrs_match, "replay must pass the cached Arcs through");
+        assert_eq!(warm.cached_shards, warm.shards);
+        assert_eq!(warm.seeded_shards, 0, "nothing left to seed on a replay");
+        assert_eq!(warm.topdown_entries, 0);
+        assert_eq!(warm.total_adjacency_entries(), 0, "no build work happened");
+        assert!(warm.shard_reports.iter().all(|r| r.cached));
+
+        // A stale artifact (wrong provenance) or wrong shard coverage is
+        // ignored: shards rebuild and results still match.
+        let stale = CachedShards {
+            provenance: fresh.plan.provenance ^ 1,
+            shards: artifact.shards.clone(),
+        };
+        let mut rebuilt_counts = Vec::new();
+        let rebuilt = for_each_shard_cst_cached(
+            &q,
+            &g,
+            &tree,
+            &opts,
+            Some(&fresh.plan),
+            Some(&stale),
+            |s| rebuilt_counts.push(count_embeddings(&s.cst, &q, &order)),
+        );
+        assert_eq!(rebuilt.cached_shards, 0, "stale artifact must not replay");
+        assert_eq!(rebuilt_counts, cold_counts);
+        let short = CachedShards {
+            provenance: fresh.plan.provenance,
+            shards: artifact.shards[..2].to_vec(),
+        };
+        let partial =
+            for_each_shard_cst_cached(&q, &g, &tree, &opts, Some(&fresh.plan), Some(&short), |_| {});
+        assert_eq!(partial.cached_shards, 0, "partial artifacts are never trusted");
     }
 
     #[test]

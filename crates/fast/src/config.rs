@@ -64,6 +64,23 @@ pub struct FastConfig {
     /// (the `hostscale` figure runs both). Ignored when `host_threads == 1`
     /// (the sequential flow never plans).
     pub seed_from_probe: bool,
+    /// Optional tier-2 artifact: the refined shard CSTs *and* partition
+    /// decomposition of an earlier identical session
+    /// ([`crate::PreparedCsts`], captured via
+    /// [`capture_prepared`](Self::capture_prepared)). `prepare_partitions`
+    /// replays it directly — partitions stream straight to the sink with
+    /// zero build or partition work; `run_fast` reuses its shard CSTs
+    /// through the pipeline's provenance-validated path. The caller owns
+    /// keying (the serving layer uses `cst::PlanKey` × graph epoch); a
+    /// shape-mismatched artifact is ignored and the run builds fresh.
+    /// `None` (default) builds.
+    pub prepared: Option<Arc<crate::host::PreparedCsts>>,
+    /// Capture this build's [`crate::PreparedCsts`] on
+    /// `prepare_partitions` (returned on `PreparePhase::prepared`) so a
+    /// serving layer can insert it into a tier-2 cache. Off by default:
+    /// capture clones shard/partition `Arc`s and keeps payloads alive past
+    /// the run.
+    pub capture_prepared: bool,
 }
 
 impl Default for FastConfig {
@@ -82,6 +99,8 @@ impl Default for FastConfig {
             shard_planner: ShardPlanner::Contiguous,
             shard_plan: None,
             seed_from_probe: true,
+            prepared: None,
+            capture_prepared: false,
         }
     }
 }

@@ -49,7 +49,7 @@ pub use config::FastConfig;
 pub use cst::{ShardPlan, ShardPlanner};
 pub use host::{
     prepare_partitions, run_fast, run_fast_with_order, FastError, FastReport, PartitionJob,
-    PreparePhase,
+    PartitionSpec, PreparePhase, PreparedCsts,
 };
 pub use kernel::{run_kernel, CollectMode, KernelOutput};
 pub use multi_fpga::{run_multi_fpga, MultiFpgaReport};

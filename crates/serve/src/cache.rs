@@ -1,29 +1,48 @@
-//! The LRU plan cache fronting `plan_pipeline_shards`.
+//! The serving layer's two cache tiers, unified on one size-aware LRU.
 //!
-//! Keys are [`cst::PlanKey`]s (derived in `cst::cache`, next to the planner
-//! whose inputs they fingerprint); values are [`Arc<ShardPlan>`]s shared
-//! with the sessions executing them. Capacity-bounded with
-//! least-recently-*used* eviction — a hit refreshes the entry — and
-//! hit/miss/eviction counters surfaced through [`CacheStats`] into the
-//! service report. Capacity 0 disables the cache entirely (every lookup
-//! misses, nothing is stored): the "cold" configuration of the serving
-//! benchmark.
+//! [`SizedCache`] is the shared machinery: a *weight*-budgeted LRU map —
+//! every entry carries a caller-supplied weight, eviction removes
+//! least-recently-used entries until the resident weight fits the budget,
+//! and an entry heavier than the whole budget is **rejected** without
+//! disturbing the working set. Entry-count capacity is the degenerate case
+//! (every weight 1), so both tiers and both configuration styles share one
+//! implementation:
+//!
+//! * [`PlanCache`] (tier 1): [`cst::PlanKey`] → [`Arc<ShardPlan>`] — the
+//!   probe/boundary-search result. Configurable as an entry count (the
+//!   original interface, [`PlanCache::new`]) or a byte budget weighing
+//!   `ShardPlan::approx_bytes` ([`CacheBudget::Bytes`]): probe-carrying
+//!   plans dominate memory, which an entry-count LRU can't see.
+//! * [`CstCache`] (tier 2): [`cst::PlanKey`] → [`Arc<fast::PreparedCsts>`]
+//!   — the refined shard CSTs *and* their partition decomposition, weighed
+//!   by `PreparedCsts::payload_bytes`. A hit makes a warm serve pure
+//!   dispatch + kernel: no top-down, no refinement, no materialisation, no
+//!   partitioning.
+//!
+//! Both tiers are partitioned per tenant (`tenant::TenantState`), counted
+//! by [`CacheStats`], and disabled by a zero budget (every lookup misses,
+//! nothing is stored) — the "cold" arms of the serving benchmarks.
 
 use cst::{PlanKey, ShardPlan};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Arc;
 
-/// Hit/miss accounting of a [`PlanCache`].
+/// Hit/miss accounting of a cache tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found a live entry.
     pub hits: u64,
-    /// Lookups that found nothing (including all lookups at capacity 0).
+    /// Lookups that found nothing (including all lookups at budget 0).
     pub misses: u64,
     /// Entries stored.
     pub insertions: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Insertions refused because the entry alone exceeds the whole budget
+    /// (the working set is left untouched; evicting everything for an
+    /// entry that still cannot fit would be pure loss).
+    pub rejected: u64,
 }
 
 impl CacheStats {
@@ -44,27 +63,38 @@ impl CacheStats {
         self.misses += other.misses;
         self.insertions += other.insertions;
         self.evictions += other.evictions;
+        self.rejected += other.rejected;
     }
 }
 
-struct Entry {
-    plan: Arc<ShardPlan>,
+struct Entry<V> {
+    value: V,
+    weight: usize,
     last_used: u64,
 }
 
-/// A capacity-bounded LRU map `PlanKey → Arc<ShardPlan>`.
-pub struct PlanCache {
-    capacity: usize,
+/// A weight-budgeted LRU map: resident weight never exceeds `budget`.
+///
+/// The caller supplies each entry's weight at insertion (bytes for the
+/// byte-budgeted tiers, 1 for entry-count capacity); a hit refreshes
+/// recency. Budget 0 disables the cache. Victim selection is an O(n) scan —
+/// serving caches hold tens of entries, not millions, so a linked-list LRU
+/// would be pure overhead.
+pub struct SizedCache<K, V> {
+    budget: usize,
+    used: usize,
     tick: u64,
-    entries: HashMap<PlanKey, Entry>,
+    entries: HashMap<K, Entry<V>>,
     stats: CacheStats,
 }
 
-impl PlanCache {
-    /// Creates a cache holding at most `capacity` plans (0 = disabled).
-    pub fn new(capacity: usize) -> Self {
-        PlanCache {
-            capacity,
+impl<K: Eq + Hash + Copy, V: Clone> SizedCache<K, V> {
+    /// Creates a cache whose resident weight is bounded by `budget`
+    /// (0 = disabled).
+    pub fn new(budget: usize) -> Self {
+        SizedCache {
+            budget,
+            used: 0,
             tick: 0,
             entries: HashMap::new(),
             stats: CacheStats::default(),
@@ -72,13 +102,13 @@ impl PlanCache {
     }
 
     /// Looks `key` up, refreshing its recency on a hit. Counts the outcome.
-    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<ShardPlan>> {
+    pub fn get(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
         match self.entries.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(Arc::clone(&entry.plan))
+                Some(entry.value.clone())
             }
             None => {
                 self.stats.misses += 1;
@@ -87,35 +117,52 @@ impl PlanCache {
         }
     }
 
-    /// Stores `plan` under `key`, evicting the least-recently-used entry if
-    /// the cache is full. A no-op at capacity 0.
-    pub fn insert(&mut self, key: PlanKey, plan: Arc<ShardPlan>) {
-        if self.capacity == 0 {
+    /// Stores `value` under `key` with the given eviction `weight`,
+    /// evicting least-recently-used entries until it fits. An entry heavier
+    /// than the whole budget is rejected — counted, working set untouched.
+    /// A no-op at budget 0.
+    pub fn insert(&mut self, key: K, value: V, weight: usize) {
+        if self.budget == 0 {
+            return;
+        }
+        if weight > self.budget {
+            self.stats.rejected += 1;
             return;
         }
         self.tick += 1;
-        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
-            // O(n) victim scan: serving caches hold tens of plans, not
-            // millions — a linked-list LRU would be pure overhead here.
-            if let Some(victim) = self
+        // Replacing an entry releases its weight before fit is judged.
+        if let Some(old) = self.entries.remove(&key) {
+            self.used -= old.weight;
+        }
+        while self.used + weight > self.budget {
+            let victim = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| *k)
-            {
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
-            }
+                .expect("over budget implies a resident entry");
+            let evicted = self.entries.remove(&victim).expect("victim resident");
+            self.used -= evicted.weight;
+            self.stats.evictions += 1;
         }
         let tick = self.tick;
         self.entries.insert(
             key,
             Entry {
-                plan,
+                value,
+                weight,
                 last_used: tick,
             },
         );
+        self.used += weight;
         self.stats.insertions += 1;
+    }
+
+    /// Drops every entry (epoch invalidation) — not counted as eviction:
+    /// invalidation is correctness, not cache pressure.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
     }
 
     /// Live entries.
@@ -127,14 +174,159 @@ impl PlanCache {
         self.entries.is_empty()
     }
 
-    /// Configured capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// Resident weight (bytes for byte-budgeted tiers).
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Configured weight budget.
+    pub fn budget(&self) -> usize {
+        self.budget
     }
 
     /// Counters so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+}
+
+/// How a [`PlanCache`]'s capacity is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheBudget {
+    /// At most this many entries (the original interface; weight 1 each).
+    Entries(usize),
+    /// At most this many resident bytes, weighing `ShardPlan::approx_bytes`.
+    Bytes(usize),
+}
+
+/// Tier 1: a budgeted LRU map `PlanKey → Arc<ShardPlan>`.
+pub struct PlanCache {
+    inner: SizedCache<PlanKey, Arc<ShardPlan>>,
+    by_bytes: bool,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache::with_budget(CacheBudget::Entries(capacity))
+    }
+
+    /// Creates a cache bounded by `budget` (entries or bytes; 0 = disabled).
+    pub fn with_budget(budget: CacheBudget) -> Self {
+        let (limit, by_bytes) = match budget {
+            CacheBudget::Entries(n) => (n, false),
+            CacheBudget::Bytes(b) => (b, true),
+        };
+        PlanCache {
+            inner: SizedCache::new(limit),
+            by_bytes,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts the outcome.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<ShardPlan>> {
+        self.inner.get(key)
+    }
+
+    /// Stores `plan` under `key`, evicting LRU entries if over budget.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<ShardPlan>) {
+        let weight = if self.by_bytes {
+            plan.approx_bytes().max(1)
+        } else {
+            1
+        };
+        self.inner.insert(key, plan, weight);
+    }
+
+    /// Drops every entry (epoch invalidation).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Configured budget (entries or bytes, per construction).
+    pub fn capacity(&self) -> usize {
+        self.inner.budget()
+    }
+
+    /// Resident weight (entry count or approximate bytes).
+    pub fn used(&self) -> usize {
+        self.inner.used()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+}
+
+/// Tier 2: a byte-budgeted LRU map `PlanKey → Arc<fast::PreparedCsts>` —
+/// refined shard CSTs plus partition decomposition, weighed by
+/// `PreparedCsts::payload_bytes`. A hit skips *all* build work; resident
+/// bytes never exceed the budget (`tests/prop_cst_cache.rs` proves the
+/// invariant over randomized sequences).
+pub struct CstCache {
+    inner: SizedCache<PlanKey, Arc<fast::PreparedCsts>>,
+}
+
+impl CstCache {
+    /// Creates a cache bounded by `budget_bytes` resident payload bytes
+    /// (0 = tier 2 disabled).
+    pub fn new(budget_bytes: usize) -> Self {
+        CstCache {
+            inner: SizedCache::new(budget_bytes),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts the outcome.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<fast::PreparedCsts>> {
+        self.inner.get(key)
+    }
+
+    /// Stores `artifact` under `key`, weighed by its payload bytes.
+    pub fn insert(&mut self, key: PlanKey, artifact: Arc<fast::PreparedCsts>) {
+        let weight = artifact.payload_bytes().max(1);
+        self.inner.insert(key, artifact, weight);
+    }
+
+    /// Drops every entry — `bump_epoch`'s tier-2 invalidation. (Tier 1
+    /// needs no clearing: the epoch is *inside* the `PlanKey`, so stale
+    /// plans age out; tier-2 payloads are megabytes, so stale artifacts
+    /// are dropped eagerly instead of squatting the byte budget.)
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.inner.budget()
+    }
+
+    /// Resident payload bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.used()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
     }
 }
 
@@ -161,7 +353,10 @@ mod tests {
         c.insert(key(1), plan(2));
         let hit = c.get(&key(1)).expect("cached");
         assert_eq!(hit.shard_count(), 2);
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, insertions: 1, evictions: 0 });
+        assert_eq!(
+            c.stats(),
+            CacheStats { hits: 1, misses: 1, insertions: 1, evictions: 0, rejected: 0 }
+        );
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -198,5 +393,60 @@ mod tests {
         assert!(c.get(&key(1)).is_none());
         assert_eq!(c.stats().insertions, 0);
         assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn byte_budget_weighs_plans_and_tracks_residency() {
+        // Two probe-free plans fit a budget sized for two; the third evicts.
+        let per_plan = plan(2).approx_bytes();
+        assert!(per_plan > 0);
+        let mut c = PlanCache::with_budget(CacheBudget::Bytes(per_plan * 2));
+        c.insert(key(1), plan(2));
+        c.insert(key(2), plan(2));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.used(), per_plan * 2);
+        c.insert(key(3), plan(2));
+        assert_eq!(c.len(), 2, "byte budget evicted the LRU plan");
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.used() <= c.capacity());
+    }
+
+    #[test]
+    fn oversized_entry_rejected_without_eviction() {
+        let mut c: SizedCache<u64, u64> = SizedCache::new(10);
+        c.insert(1, 10, 4);
+        c.insert(2, 20, 4);
+        c.insert(3, 30, 100);
+        assert_eq!(c.stats().rejected, 1);
+        assert_eq!(c.stats().evictions, 0, "working set untouched");
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&3).is_none());
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn replacing_heavier_value_releases_old_weight_first() {
+        let mut c: SizedCache<u64, u64> = SizedCache::new(10);
+        c.insert(1, 10, 6);
+        // Same key, heavier value: old 6 released, new 9 fits alone —
+        // no other entry exists, so no eviction.
+        c.insert(1, 11, 9);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.used(), 9);
+        assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn clear_resets_residency_but_not_counters() {
+        let mut c: SizedCache<u64, u64> = SizedCache::new(10);
+        c.insert(1, 10, 4);
+        assert!(c.get(&1).is_some());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.stats().insertions, 1);
+        assert_eq!(c.stats().evictions, 0, "invalidation is not eviction");
+        assert!(c.get(&1).is_none(), "cleared entries miss");
     }
 }

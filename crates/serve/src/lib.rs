@@ -12,11 +12,15 @@
 //!   round-robin session table: under saturation each backlogged tenant is
 //!   served in proportion to its quota (deficit round-robin), replacing the
 //!   old global blocking semaphore as the cross-tenant scheduling point;
-//! * [`cache`] — an LRU **plan cache** keyed on [`cst::PlanKey`] (query
+//! * [`cache`] — **two cache tiers** keyed on [`cst::PlanKey`] (query
 //!   fingerprint × tenant graph epoch × planning options), partitioned per
-//!   tenant: a `ShardPlan` is a pure function of `(q, g, tree, options)`,
-//!   so repeated queries skip the probe/boundary search entirely and one
-//!   tenant's plans can never collide with another's;
+//!   tenant and unified on one size-aware LRU ([`SizedCache`]): tier 1
+//!   caches the [`ShardPlan`](cst::ShardPlan) (skip the probe/boundary
+//!   search), tier 2 ([`CstCache`]) caches the refined shard CSTs *and*
+//!   their partition decomposition under a **byte budget**
+//!   (`Cst::payload_bytes`), so a warm serve is pure dispatch + kernel —
+//!   zero build work — and one tenant's entries can never collide with
+//!   another's;
 //! * [`devices`] — a [`DevicePool`] multiplexing CST partitions across
 //!   heterogeneous backends by **shortest expected completion in modelled
 //!   seconds**: each backend (FPGA card under the cycle model, CPU share
@@ -74,7 +78,7 @@ pub mod metrics;
 pub mod service;
 pub mod tenant;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheBudget, CacheStats, CstCache, PlanCache, SizedCache};
 pub use devices::{DeviceKind, DevicePool, DeviceStats};
 pub use metrics::{ServeReport, TenantSummary};
 pub use service::{

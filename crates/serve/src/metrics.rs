@@ -46,8 +46,13 @@ pub struct ServeReport {
     pub failed: u64,
     /// Total embeddings across completed sessions.
     pub total_embeddings: u64,
-    /// Plan-cache counters (hit rate, evictions).
+    /// Tier-1 plan-cache counters (hit rate, evictions).
     pub cache: CacheStats,
+    /// Tier-2 shard-CST cache counters (hit rate, evictions, rejections).
+    pub cst_cache: CacheStats,
+    /// Resident payload bytes across every tenant's tier-2 partition at
+    /// report time — always ≤ the sum of configured byte budgets.
+    pub cst_resident_bytes: usize,
     /// Sustained throughput: completed sessions per second of serving wall
     /// time (first submission → last completion).
     pub qps: f64,
@@ -75,6 +80,12 @@ pub struct ServeReport {
     /// working cache shows `plan_hit_mean_sec` ≈ 0.
     pub plan_hit_mean_sec: f64,
     pub plan_miss_mean_sec: f64,
+    /// Mean CST build wall per session (refinement + materialisation +
+    /// partitioning), split by tier-2 outcome: a warm serve builds nothing,
+    /// so `build_hit_mean_sec` is exactly 0 — the timing claim the
+    /// `cstcache` figure asserts.
+    pub build_hit_mean_sec: f64,
+    pub build_miss_mean_sec: f64,
     /// Per-device counters (partitions, modelled cycles, booked workload).
     pub devices: Vec<DeviceStats>,
     /// The busiest device's modelled execution seconds.
@@ -115,11 +126,16 @@ pub struct TenantSummary {
     pub latency_p99: f64,
     /// Hit rate of the tenant's plan-cache partition.
     pub hit_rate: f64,
+    /// Hit rate of the tenant's tier-2 shard-CST cache partition.
+    pub cst_hit_rate: f64,
+    /// Resident payload bytes of the tenant's tier-2 partition.
+    pub cst_resident_bytes: usize,
 }
 
 impl ServeReport {
     /// Builds the latency/queue aggregates from raw samples. All inputs
     /// are per-session seconds.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn aggregate(
         &mut self,
         latencies: &[f64],
@@ -127,6 +143,8 @@ impl ServeReport {
         device_queues: &[f64],
         plan_hits: &[f64],
         plan_misses: &[f64],
+        build_hits: &[f64],
+        build_misses: &[f64],
     ) {
         // One sort per sample set, both quantiles read from it.
         let mut sorted = latencies.to_vec();
@@ -147,6 +165,8 @@ impl ServeReport {
         self.device_queue_mean = mean(device_queues);
         self.plan_hit_mean_sec = mean(plan_hits);
         self.plan_miss_mean_sec = mean(plan_misses);
+        self.build_hit_mean_sec = mean(build_hits);
+        self.build_miss_mean_sec = mean(build_misses);
     }
 
     /// Whether every derived rate/percentile field is finite — the
@@ -166,10 +186,13 @@ impl ServeReport {
             self.device_queue_mean,
             self.plan_hit_mean_sec,
             self.plan_miss_mean_sec,
+            self.build_hit_mean_sec,
+            self.build_miss_mean_sec,
             self.device_makespan_sec,
             self.device_busy_sec,
             self.device_imbalance,
             self.cache.hit_rate(),
+            self.cst_cache.hit_rate(),
         ]
         .iter()
         .all(|v| v.is_finite())
@@ -195,7 +218,15 @@ mod tests {
     #[test]
     fn aggregate_fills_fields() {
         let mut r = ServeReport::default();
-        r.aggregate(&[1.0, 2.0, 3.0], &[0.5], &[0.1, 0.3], &[0.0, 0.0], &[1.0]);
+        r.aggregate(
+            &[1.0, 2.0, 3.0],
+            &[0.5],
+            &[0.1, 0.3],
+            &[0.0, 0.0],
+            &[1.0],
+            &[0.0],
+            &[2.0, 4.0],
+        );
         assert_eq!(r.latency_p50, 2.0);
         assert_eq!(r.latency_mean, 2.0);
         assert_eq!(r.queue_wait_p99, 0.5);
@@ -203,13 +234,15 @@ mod tests {
         assert!((r.device_queue_mean - 0.2).abs() < 1e-12);
         assert_eq!(r.plan_hit_mean_sec, 0.0);
         assert_eq!(r.plan_miss_mean_sec, 1.0);
+        assert_eq!(r.build_hit_mean_sec, 0.0);
+        assert_eq!(r.build_miss_mean_sec, 3.0);
         assert!(r.is_finite());
     }
 
     #[test]
     fn empty_aggregate_is_finite() {
         let mut r = ServeReport::default();
-        r.aggregate(&[], &[], &[], &[], &[]);
+        r.aggregate(&[], &[], &[], &[], &[], &[], &[]);
         assert!(r.is_finite());
         assert_eq!(r.latency_p99, 0.0);
         assert_eq!(r.device_queue_p50, 0.0);

@@ -13,10 +13,14 @@
 //!    derives the BFS tree / matching order / kernel plan **once**, and
 //!    derives the plan-cache key from the same tree plus the *tenant's*
 //!    graph epoch.
-//! 3. On a hit in the tenant's plan-cache partition the stored
-//!    [`cst::ShardPlan`] rides into [`fast::prepare_partitions`] through
-//!    [`FastConfig::shard_plan`] and the probe/boundary search is skipped;
-//!    on a miss the freshly computed plan is inserted for the next repeat.
+//! 3. Two-tier cache lookup in the tenant's partitions, both keyed by the
+//!    same [`cst::PlanKey`] × epoch: a **tier-2** hit replays the refined
+//!    shard CSTs and their partition decomposition through
+//!    [`FastConfig::prepared`] — zero planning, zero build, zero
+//!    partitioning; a plan-only hit rides the stored [`cst::ShardPlan`]
+//!    into [`fast::prepare_partitions`] through [`FastConfig::shard_plan`]
+//!    (probe skipped, build seeded); a full miss computes and publishes
+//!    the plan, builds, and inserts the captured artifact into tier 2.
 //! 4. Each partition streaming out of the prepare phase is booked onto the
 //!    pool device with the shortest expected completion ([`DevicePool`] —
 //!    emulated FPGA cards and CPU fallback shares priced under their own
@@ -30,7 +34,7 @@
 //! single-run CPU-share scheduler (FAST-SHARE's δ) is not booked here —
 //! `run_fast` remains the one-shot path.
 
-use crate::cache::{CacheStats, PlanCache};
+use crate::cache::{CacheBudget, CacheStats, CstCache, PlanCache};
 use crate::devices::{DeviceKind, DevicePool, DeviceStats};
 use crate::metrics::{ServeReport, TenantSummary};
 use crate::tenant::{TenantConfig, TenantId, WrrQueue};
@@ -65,6 +69,17 @@ pub struct ServeConfig {
     /// (plans); 0 disables caching ("cold" serving). Override per tenant
     /// via [`TenantConfig::cache_capacity`].
     pub cache_capacity: usize,
+    /// When set, tenant plan caches are budgeted in **bytes**
+    /// (`ShardPlan::approx_bytes`) instead of entries and
+    /// [`cache_capacity`](Self::cache_capacity) is ignored. A per-tenant
+    /// [`TenantConfig::cache_capacity`] override still counts entries.
+    pub plan_cache_bytes: Option<usize>,
+    /// Byte budget of each tenant's **tier-2** shard-CST cache partition
+    /// ([`crate::CstCache`]): the refined shard CSTs and their partition
+    /// decompositions, evicted LRU by `Cst::payload_bytes`. A hit makes a
+    /// warm serve pure dispatch + kernel (zero build work). 0 disables
+    /// tier 2. Override per tenant via [`TenantConfig::cst_cache_bytes`].
+    pub cst_cache_bytes: usize,
     /// Bounded in-flight depth across all tenants:
     /// [`FastService::submit`] blocks once this many sessions are admitted
     /// but not yet completed.
@@ -86,6 +101,11 @@ impl Default for ServeConfig {
             extra_devices: Vec::new(),
             workers: 2,
             cache_capacity: 64,
+            plan_cache_bytes: None,
+            // Tier 2 defaults on with a deliberately modest budget: warm
+            // repeats skip the whole build, and the byte-budgeted LRU
+            // bounds residency regardless of query mix.
+            cst_cache_bytes: 64 << 20,
             max_in_flight: 64,
         }
     }
@@ -125,14 +145,29 @@ pub struct QueryReport {
     pub embeddings: u64,
     /// Partitions executed.
     pub partitions: usize,
-    /// Whether the shard plan came from the tenant's cache partition.
+    /// Whether *either* cache tier hit: the shard plan came from the
+    /// tenant's plan cache, or the whole prepared CST set came from its
+    /// tier-2 partition.
     pub cache_hit: bool,
+    /// Whether the session replayed a tier-2 shard-CST artifact — the
+    /// fully warm path: no planning, no build, no partitioning; the
+    /// session was pure dispatch + kernel.
+    pub cst_cache_hit: bool,
     /// Shard-planning wall time (~0 on a hit).
     pub plan_time: Duration,
+    /// CST build wall: refinement + materialisation + partitioning,
+    /// excluding inline backend execution. **Exactly zero** on a tier-2
+    /// hit — the claim the `cstcache` figure and the release-mode warm
+    /// test assert.
+    pub build_time: Duration,
+    /// Phase-1 top-down scan work of the session's build — 0 when every
+    /// shard was seeded from the plan's probe *or* replayed from tier 2.
+    pub topdown_entries: usize,
     /// Shards the plan decomposed the root set into.
     pub pipeline_shards: usize,
     /// Shards built from the cached/fresh plan's probe — a warm-cache
-    /// session seeds every shard and skips the global top-down scan.
+    /// session seeds every shard and skips the global top-down scan. 0 on
+    /// a tier-2 hit (nothing is built at all).
     pub seeded_shards: usize,
     /// Wall time from worker pickup to completion (build + partition +
     /// inline emulated backends).
@@ -242,15 +277,20 @@ impl SessionHandle {
 }
 
 /// Everything the service keys by tenant: the loaded graph, its epoch,
-/// the fair-share quota, a private plan-cache partition, and metrics.
+/// the fair-share quota, private cache partitions (both tiers), and
+/// metrics.
 struct TenantState {
     id: TenantId,
     graph: Arc<Graph>,
     quota: u32,
-    /// Graph epoch folded into this tenant's plan-cache keys; bump on any
-    /// graph change so stale plans can never hit.
+    /// Graph epoch folded into this tenant's cache keys (both tiers);
+    /// bump on any graph change so stale entries can never hit.
     epoch: AtomicU64,
+    /// Tier 1: shard plans.
     cache: Mutex<PlanCache>,
+    /// Tier 2: refined shard CSTs + partition decompositions,
+    /// byte-budgeted.
+    cst_cache: Mutex<CstCache>,
     metrics: Mutex<MetricsState>,
 }
 
@@ -336,6 +376,8 @@ struct MetricsState {
     device_queues: SampleVec,
     plan_hits: SampleVec,
     plan_misses: SampleVec,
+    build_hits: SampleVec,
+    build_misses: SampleVec,
     first_submit: Option<Instant>,
     last_done: Option<Instant>,
 }
@@ -359,9 +401,12 @@ struct Inner {
     /// The compatibility tenant `submit` addresses, outside the registry
     /// lock (the single-tenant hot path).
     default_tenant: Arc<TenantState>,
-    /// Keys whose plan is being computed right now (single-flight, scoped
-    /// per tenant): a concurrent identical cold query waits for the
-    /// owner's probe instead of re-running it.
+    /// Keys being computed right now (single-flight, scoped per tenant):
+    /// a concurrent identical cold query waits for the owner instead of
+    /// duplicating its work. With tier 2 enabled the owner holds its
+    /// claim through the whole build (waiters wake into a tier-2 hit —
+    /// shard CSTs are built exactly once); with tier 2 disabled the claim
+    /// covers only planning, as before.
     pending_plans: Mutex<HashSet<(TenantId, PlanKey)>>,
     pending_cond: Condvar,
     devices: Mutex<DevicePool>,
@@ -432,7 +477,8 @@ impl FastService {
             graph: graph.into(),
             quota: 1,
             epoch: AtomicU64::new(TenantConfig::default().epoch),
-            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            cache: Mutex::new(plan_cache_for(&config, None)),
+            cst_cache: Mutex::new(CstCache::new(config.cst_cache_bytes)),
             metrics: Mutex::new(MetricsState::default()),
         });
         let mut queue = WrrQueue::new();
@@ -512,15 +558,16 @@ impl FastService {
             return Err(ServeError::ZeroQuota);
         }
         let id = TenantId::new(self.inner.next_tenant.fetch_add(1, Ordering::Relaxed));
-        let capacity = config
-            .cache_capacity
-            .unwrap_or(self.inner.config.cache_capacity);
+        let cst_budget = config
+            .cst_cache_bytes
+            .unwrap_or(self.inner.config.cst_cache_bytes);
         let state = Arc::new(TenantState {
             id,
             graph: graph.into(),
             quota: config.quota,
             epoch: AtomicU64::new(config.epoch),
-            cache: Mutex::new(PlanCache::new(capacity)),
+            cache: Mutex::new(plan_cache_for(&self.inner.config, config.cache_capacity)),
+            cst_cache: Mutex::new(CstCache::new(cst_budget)),
             metrics: Mutex::new(MetricsState::default()),
         });
         // Lane before registry: a submission can only name the tenant
@@ -562,10 +609,22 @@ impl FastService {
     }
 
     /// Bumps a tenant's graph epoch (after mutating/replacing its graph),
-    /// invalidating every cached plan for it. Returns the new epoch.
+    /// invalidating every cached plan and tier-2 artifact for it — other
+    /// tenants' residency and hit rates are untouched. Returns the new
+    /// epoch.
     pub fn bump_epoch(&self, tenant: TenantId) -> Result<u64, ServeError> {
         let state = self.inner.tenant(tenant)?;
-        Ok(state.epoch.fetch_add(1, Ordering::Relaxed) + 1)
+        let epoch = state.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        // Tier 1 needs no clearing: the epoch is inside the PlanKey, so
+        // stale plans can never hit and age out by LRU. Tier-2 payloads
+        // are megabytes — drop them eagerly instead of letting stale
+        // artifacts squat the byte budget until eviction.
+        state
+            .cst_cache
+            .lock()
+            .expect("tenant cst cache")
+            .clear();
+        Ok(epoch)
     }
 
     /// Submits a query for the default tenant, **blocking while the
@@ -662,9 +721,16 @@ impl FastService {
             .cloned()
             .collect();
         let mut cache = CacheStats::default();
+        let mut cst_cache = CacheStats::default();
+        let mut cst_resident_bytes = 0usize;
         let mut summaries = Vec::with_capacity(tenants.len());
         for t in &tenants {
             cache.absorb(&t.cache.lock().expect("tenant cache").stats());
+            {
+                let cc = t.cst_cache.lock().expect("tenant cst cache");
+                cst_cache.absorb(&cc.stats());
+                cst_resident_bytes += cc.resident_bytes();
+            }
             summaries.push(tenant_summary(t));
         }
         let pool = {
@@ -677,7 +743,15 @@ impl FastService {
             }
         };
         let max_seen = self.inner.gate.lock().expect("gate").max_seen;
-        assemble_report(&metrics, cache, &pool, max_seen, summaries)
+        assemble_report(
+            &metrics,
+            cache,
+            cst_cache,
+            cst_resident_bytes,
+            &pool,
+            max_seen,
+            summaries,
+        )
     }
 
     /// A single tenant's report slice.
@@ -710,9 +784,24 @@ impl Drop for FastService {
     }
 }
 
+/// Builds a tenant's plan-cache partition: a per-tenant entry-count
+/// override wins; otherwise the service-wide byte budget (when set) or the
+/// service-wide entry capacity.
+fn plan_cache_for(config: &ServeConfig, capacity_override: Option<usize>) -> PlanCache {
+    match (capacity_override, config.plan_cache_bytes) {
+        (Some(entries), _) => PlanCache::new(entries),
+        (None, Some(bytes)) => PlanCache::with_budget(CacheBudget::Bytes(bytes)),
+        (None, None) => PlanCache::new(config.cache_capacity),
+    }
+}
+
 fn tenant_summary(t: &TenantState) -> TenantSummary {
     let m = t.metrics.lock().expect("tenant metrics").clone();
     let cache = t.cache.lock().expect("tenant cache").stats();
+    let (cst_stats, cst_resident_bytes) = {
+        let cc = t.cst_cache.lock().expect("tenant cst cache");
+        (cc.stats(), cc.resident_bytes())
+    };
     let wall_sec = match (m.first_submit, m.last_done) {
         (Some(a), Some(b)) => b.saturating_duration_since(a).as_secs_f64(),
         _ => 0.0,
@@ -733,12 +822,17 @@ fn tenant_summary(t: &TenantState) -> TenantSummary {
         latency_p50: crate::metrics::percentile(m.latencies.as_slice(), 0.50),
         latency_p99: crate::metrics::percentile(m.latencies.as_slice(), 0.99),
         hit_rate: cache.hit_rate(),
+        cst_hit_rate: cst_stats.hit_rate(),
+        cst_resident_bytes,
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn assemble_report(
     m: &MetricsState,
     cache: CacheStats,
+    cst_cache: CacheStats,
+    cst_resident_bytes: usize,
     pool: &PoolView,
     max_in_flight: usize,
     tenants: Vec<TenantSummary>,
@@ -753,6 +847,8 @@ fn assemble_report(
         failed: m.failed,
         total_embeddings: m.total_embeddings,
         cache,
+        cst_cache,
+        cst_resident_bytes,
         // Degenerate walls must never surface NaN/inf: a report taken
         // before any completion has no wall at all, and a single session
         // can complete within one clock tick (`wall_sec == 0.0` with
@@ -777,6 +873,8 @@ fn assemble_report(
         m.device_queues.as_slice(),
         m.plan_hits.as_slice(),
         m.plan_misses.as_slice(),
+        m.build_hits.as_slice(),
+        m.build_misses.as_slice(),
     );
     debug_assert!(report.is_finite(), "report must never surface NaN/inf");
     report
@@ -836,64 +934,111 @@ fn serve_one(inner: &Inner, sub: Submission) {
         }
     };
 
-    // Plan cache (the tenant's partition): hit → the stored plan skips the
-    // probe inside `prepare_partitions`; miss → the plan is computed
-    // *here* (the same `plan_pipeline_shards` the pipeline would call) and
-    // published immediately, before the session's build/execute starts.
-    // Misses are single-flight per (tenant, key): a concurrent identical
-    // query waits only for the owner's planning (not its whole session),
-    // then reads the freshly inserted plan as a hit.
+    // Two-tier lookup under one single-flight gate, keyed (tenant, key):
+    //
+    // * **Tier-2 hit** — the refined shard CSTs *and* their partition
+    //   decomposition replay through `FastConfig::prepared`: no planning,
+    //   no build, no partitioning — the session is pure dispatch + kernel.
+    //   No flight is claimed (there is nothing left to compute).
+    // * **Tier-2 miss, plan hit** — the stored plan skips the probe and
+    //   the build is seeded from its riding probe, as before tier 2. With
+    //   tier 2 enabled the flight is **held through the build** and the
+    //   finished artifact is inserted before release, so N identical
+    //   concurrent cold sessions build the shard CSTs exactly once:
+    //   waiters wake straight into a tier-2 hit.
+    // * **Both miss** — the plan is computed *here* (the same
+    //   `plan_pipeline_shards` the pipeline would call) and published
+    //   immediately. With tier 2 disabled the flight is released at plan
+    //   publication (waiters need only the plan); with tier 2 enabled it
+    //   is held through the build as above.
     let mut config = inner.config.fast.clone();
     let pipe_opts = config.pipeline_options(q.vertex_count());
     let epoch = tenant.epoch.load(Ordering::Relaxed);
     let key = PlanKey::derive(q, &tree, &pipe_opts, epoch);
     let flight_key = (tenant.id, key);
     let cache_enabled = tenant.cache.lock().expect("tenant cache").capacity() > 0;
-    let (cached, flight) = if cache_enabled {
+    let cst_enabled = tenant
+        .cst_cache
+        .lock()
+        .expect("tenant cst cache")
+        .budget_bytes()
+        > 0;
+    let mut cached_plan = None;
+    let mut cached_artifact = None;
+    let mut flight = None;
+    if cache_enabled || cst_enabled {
         let mut pending = inner.pending_plans.lock().expect("pending plans");
         while pending.contains(&flight_key) {
             pending = inner.pending_cond.wait(pending).expect("pending plans");
         }
-        match tenant.cache.lock().expect("tenant cache").get(&key) {
-            Some(plan) => (Some(plan), None),
-            None => {
+        // Tier 2 first: a hit needs neither the plan nor a flight. (The
+        // plan cache deliberately sees no lookup — its counters then
+        // measure only the sessions that actually needed a plan.)
+        if cst_enabled {
+            cached_artifact = tenant
+                .cst_cache
+                .lock()
+                .expect("tenant cst cache")
+                .get(&key);
+        }
+        if cached_artifact.is_none() {
+            if cache_enabled {
+                cached_plan = tenant.cache.lock().expect("tenant cache").get(&key);
+            }
+            if cached_plan.is_none() || cst_enabled {
                 pending.insert(flight_key);
-                (
-                    None,
-                    Some(FlightGuard {
-                        inner,
-                        key: flight_key,
-                    }),
-                )
+                flight = Some(FlightGuard {
+                    inner,
+                    key: flight_key,
+                });
             }
         }
     } else {
-        (tenant.cache.lock().expect("tenant cache").get(&key), None)
-    };
-    let cache_hit = cached.is_some();
+        // Both tiers disabled ("cold" serving): every lookup misses, and
+        // both tiers' counters record it.
+        cached_artifact = tenant
+            .cst_cache
+            .lock()
+            .expect("tenant cst cache")
+            .get(&key);
+        cached_plan = tenant.cache.lock().expect("tenant cache").get(&key);
+    }
+    let cst_cache_hit = cached_artifact.is_some();
+    let plan_hit = cached_plan.is_some();
     let mut measured_plan_time = Duration::ZERO;
-    let plan = match cached {
-        Some(plan) => plan,
-        None => {
-            let t0 = Instant::now();
-            let roots = cst::root_candidates(q, g, &tree, pipe_opts.cst);
-            let plan = Arc::new(cst::plan_pipeline_shards(q, g, &tree, &pipe_opts, &roots));
-            measured_plan_time = t0.elapsed();
-            if cache_enabled {
-                tenant
-                    .cache
-                    .lock()
-                    .expect("tenant cache")
-                    .insert(key, Arc::clone(&plan));
+    if let Some(artifact) = cached_artifact {
+        // Fully warm: `prepare_partitions` streams the artifact's
+        // partitions straight to the sink below.
+        config.prepared = Some(artifact);
+    } else {
+        let plan = match cached_plan {
+            Some(plan) => plan,
+            None => {
+                let t0 = Instant::now();
+                let roots = cst::root_candidates(q, g, &tree, pipe_opts.cst);
+                let plan =
+                    Arc::new(cst::plan_pipeline_shards(q, g, &tree, &pipe_opts, &roots));
+                measured_plan_time = t0.elapsed();
+                if cache_enabled {
+                    tenant
+                        .cache
+                        .lock()
+                        .expect("tenant cache")
+                        .insert(key, Arc::clone(&plan));
+                }
+                plan
             }
-            // Release the single-flight claim now that the plan is
-            // published: waiters wake straight into a hit while this
-            // session goes on to build and execute.
-            drop(flight);
-            plan
+        };
+        config.shard_plan = Some(plan);
+        config.capture_prepared = cst_enabled;
+        if !cst_enabled {
+            // The plan is published; waiters wake straight into a plan
+            // hit while this session goes on to build and execute. (With
+            // tier 2 enabled the flight instead outlives the build — see
+            // the artifact insert after `prepare_partitions`.)
+            drop(flight.take());
         }
-    };
-    config.shard_plan = Some(plan);
+    }
 
     let ctx = QueryCtx {
         query: q,
@@ -907,7 +1052,11 @@ fn serve_one(inner: &Inner, sub: Submission) {
     let mut kernel_cycles = 0u64;
     let mut device_sec = 0.0f64;
     let mut device_queue_sec = 0.0f64;
+    // Wall spent inside this sink (admission + inline backend execution):
+    // `PreparePhase::partition_time` includes it, the build split must not.
+    let mut sink_exec = Duration::ZERO;
     let prep = prepare_partitions(q, g, &config, &tree, &order, &mut |job| {
+        let sink_start = Instant::now();
         let (device, queued_sec, backend) =
             inner.devices.lock().expect("devices").admit(job.workload);
         // Partitions on different devices drain in parallel; the session's
@@ -934,7 +1083,22 @@ fn serve_one(inner: &Inner, sub: Submission) {
             modeled_sec: out.modeled_sec,
             collected: out.collected,
         }));
+        sink_exec += sink_start.elapsed();
     });
+    // Tier-2 insert: execution ran inline in the sink, so the artifact is
+    // complete when `prepare_partitions` returns. Insert *before* dropping
+    // the flight — waiters wake straight into a tier-2 hit, making N
+    // identical concurrent cold sessions build exactly once. (An artifact
+    // larger than the whole budget is rejected by the cache, counted, and
+    // the working set stays untouched; its waiters then build in turn.)
+    if let Some(artifact) = prep.prepared.as_ref() {
+        tenant
+            .cst_cache
+            .lock()
+            .expect("tenant cst cache")
+            .insert(key, Arc::clone(artifact));
+    }
+    drop(flight);
     let now = Instant::now();
     let report = QueryReport {
         id: sub.id,
@@ -942,10 +1106,17 @@ fn serve_one(inner: &Inner, sub: Submission) {
         completion_seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
         embeddings,
         partitions,
-        cache_hit,
-        // ~0 on a hit (and on the replay inside `prepare_partitions`);
-        // the explicit probe/boundary-search wall on a miss.
+        cache_hit: plan_hit || cst_cache_hit,
+        cst_cache_hit,
+        // ~0 on a hit (and exactly 0 on the tier-2 replay inside
+        // `prepare_partitions`); the explicit probe/boundary-search wall
+        // on a miss.
         plan_time: measured_plan_time + prep.plan_time,
+        // Build + partition wall net of sink time (dispatch + inline
+        // kernels are execution, not preparation). Exactly zero on a
+        // tier-2 hit: the replay does no build or partition work at all.
+        build_time: prep.build_wall + prep.partition_time.saturating_sub(sink_exec),
+        topdown_entries: prep.build_topdown_entries,
         pipeline_shards: prep.pipeline_shards,
         seeded_shards: prep.seeded_shards,
         service_time: now.duration_since(picked),
@@ -981,6 +1152,12 @@ fn finish(inner: &Inner, tenant: &TenantState, outcome: FinishOutcome) {
             } else {
                 m.plan_misses.push(plan_sec);
             }
+            let build_sec = report.build_time.as_secs_f64();
+            if report.cst_cache_hit {
+                m.build_hits.push(build_sec);
+            } else {
+                m.build_misses.push(build_sec);
+            }
             m.last_done = Some(now);
         }
         FinishOutcome::Failed => {
@@ -1010,6 +1187,8 @@ mod tests {
             extra_devices: Vec::new(),
             workers: 2,
             cache_capacity: 8,
+            plan_cache_bytes: None,
+            cst_cache_bytes: 16 << 20,
             max_in_flight: 4,
         }
     }
@@ -1037,8 +1216,17 @@ mod tests {
         assert_eq!(final_report.completed, 6);
         assert_eq!(final_report.failed, 0);
         // Six submissions of one query: at least the non-concurrent
-        // repeats hit (the first few may race the first insertion).
-        assert!(final_report.cache.hits >= 1, "{:?}", final_report.cache);
+        // repeats hit (the first few may race the first insertion). With
+        // tier 2 on, warm repeats are absorbed by the CST cache before
+        // the plan cache is consulted, so the hits land there.
+        let warm_hits = final_report.cache.hits + final_report.cst_cache.hits;
+        assert!(
+            warm_hits >= 1,
+            "{:?} / {:?}",
+            final_report.cache,
+            final_report.cst_cache
+        );
+        assert!(final_report.cst_resident_bytes > 0, "artifact resident");
         assert_eq!(final_report.total_embeddings, 6 * first);
         assert!(final_report.qps > 0.0);
         // Single-tenant compatibility: the default tenant's slice carries
@@ -1153,12 +1341,15 @@ mod tests {
         let g = random_labelled_graph(60, 0.2, 2, 47);
         let service = FastService::new(g, small_config());
         service.submit(triangle()).wait().unwrap();
-        service.submit(triangle()).wait().unwrap();
-        let warm_hits = service.report().cache.hits;
-        assert!(warm_hits >= 1, "repeat should hit");
+        let warm = service.submit(triangle()).wait().unwrap();
+        assert!(warm.cache_hit, "repeat should hit some tier");
+        assert!(warm.cst_cache_hit, "sequential repeat should hit tier 2");
+        assert_eq!(warm.build_time, Duration::ZERO, "tier-2 hits build nothing");
+        assert_eq!(warm.topdown_entries, 0);
         assert_eq!(service.bump_epoch(TenantId::DEFAULT).unwrap(), 1);
         let r = service.submit(triangle()).wait().unwrap();
-        assert!(!r.cache_hit, "epoch bump must invalidate the cached plan");
+        assert!(!r.cache_hit, "epoch bump must invalidate both cache tiers");
+        assert!(!r.cst_cache_hit);
         service.shutdown();
     }
 
@@ -1219,7 +1410,7 @@ mod tests {
             busy_sec: pool.busy_sec(),
             imbalance: pool.imbalance(),
         };
-        let r = assemble_report(&m, CacheStats::default(), &view, 1, Vec::new());
+        let r = assemble_report(&m, CacheStats::default(), CacheStats::default(), 0, &view, 1, Vec::new());
         assert!(r.is_finite(), "zero-wall report must stay finite: {r:?}");
         assert_eq!(r.qps, 0.0, "zero wall yields zero QPS, not inf/NaN");
         assert_eq!(r.wall_sec, 0.0);

@@ -59,6 +59,11 @@ pub struct TenantConfig {
     /// Plan-cache capacity for this tenant's cache partition; `None`
     /// inherits [`ServeConfig::cache_capacity`](crate::ServeConfig::cache_capacity).
     pub cache_capacity: Option<usize>,
+    /// Byte budget of this tenant's tier-2 shard-CST cache partition
+    /// (`serve::cache::CstCache`); `None` inherits
+    /// [`ServeConfig::cst_cache_bytes`](crate::ServeConfig::cst_cache_bytes),
+    /// `Some(0)` disables tier 2 for this tenant alone.
+    pub cst_cache_bytes: Option<usize>,
 }
 
 impl Default for TenantConfig {
@@ -67,6 +72,7 @@ impl Default for TenantConfig {
             quota: 1,
             epoch: INITIAL_GRAPH_EPOCH,
             cache_capacity: None,
+            cst_cache_bytes: None,
         }
     }
 }

@@ -37,6 +37,8 @@ fn main() {
             extra_devices: vec![DeviceKind::Cpu { threads: 4 }],
             workers: 4,
             cache_capacity: 32,
+            plan_cache_bytes: None,
+            cst_cache_bytes: ServeConfig::default().cst_cache_bytes,
             max_in_flight: 16,
         },
     );
@@ -96,12 +98,13 @@ fn main() {
     );
     for t in &report.tenants {
         println!(
-            "  {}: quota {} | {} completed | {:>9} embeddings | hit rate {:.0}%",
+            "  {}: quota {} | {} completed | {:>9} embeddings | tier-2 hit rate {:.0}% ({} resident bytes)",
             t.tenant,
             t.quota,
             t.completed,
             t.total_embeddings,
-            t.hit_rate * 100.0
+            t.cst_hit_rate * 100.0,
+            t.cst_resident_bytes
         );
     }
     for (i, d) in report.devices.iter().enumerate() {
@@ -111,5 +114,8 @@ fn main() {
         );
     }
     assert_eq!(report.tenants.len(), 2);
-    assert!(report.cache.hits > 0, "repeats must hit the plan caches");
+    assert!(
+        report.cst_cache.hits > 0,
+        "repeats must hit the tier-2 shard-CST caches"
+    );
 }

@@ -30,6 +30,8 @@ fn main() {
             extra_devices: Vec::new(),
             workers: 4,
             cache_capacity: 32,
+            plan_cache_bytes: None,
+            cst_cache_bytes: ServeConfig::default().cst_cache_bytes,
             max_in_flight: 8,
         },
     );
@@ -81,12 +83,13 @@ fn main() {
 
     let report = service.shutdown();
     println!(
-        "\nserved {} sessions at {:.1} QPS | latency p50 {:.1}ms p99 {:.1}ms | cache hit rate {:.0}% | {} devices, imbalance {:.2}x",
+        "\nserved {} sessions at {:.1} QPS | latency p50 {:.1}ms p99 {:.1}ms | tier-2 hit rate {:.0}% ({} resident bytes) | {} devices, imbalance {:.2}x",
         report.completed,
         report.qps,
         report.latency_p50 * 1e3,
         report.latency_p99 * 1e3,
-        report.cache.hit_rate() * 100.0,
+        report.cst_cache.hit_rate() * 100.0,
+        report.cst_resident_bytes,
         report.devices.len(),
         report.device_imbalance,
     );
@@ -96,5 +99,8 @@ fn main() {
             d.partitions, d.cycles
         );
     }
-    assert!(report.cache.hits > 0, "repeats must hit the plan cache");
+    assert!(
+        report.cst_cache.hits > 0,
+        "repeats must hit the tier-2 shard-CST cache"
+    );
 }

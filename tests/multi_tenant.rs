@@ -16,6 +16,8 @@ fn config(workers: usize, max_in_flight: usize) -> ServeConfig {
         extra_devices: Vec::new(),
         workers,
         cache_capacity: 16,
+        plan_cache_bytes: None,
+        cst_cache_bytes: 16 << 20,
         max_in_flight,
     }
 }
@@ -85,7 +87,14 @@ fn saturated_tenants_complete_in_quota_proportion() {
         slice_a.total_embeddings + slice_b.total_embeddings,
         report.total_embeddings
     );
-    assert!(slice_b.hit_rate > 0.0, "repeats hit B's cache partition");
+    assert!(
+        slice_b.cst_hit_rate > 0.0,
+        "repeats hit B's tier-2 cache partition"
+    );
+    assert!(
+        slice_b.cst_resident_bytes > 0,
+        "B's cached artifacts occupy resident bytes"
+    );
 }
 
 /// A tenant loaded from a binary snapshot serves identically to the tenant

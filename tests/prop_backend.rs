@@ -23,6 +23,8 @@ fn config(planner: ShardPlanner, devices: usize, extra: Vec<DeviceKind>) -> Serv
         extra_devices: extra,
         workers: 2,
         cache_capacity: 16,
+        plan_cache_bytes: None,
+        cst_cache_bytes: 16 << 20,
         max_in_flight: 8,
     }
 }
@@ -96,6 +98,67 @@ fn all_fleets_agree_with_run_fast_for_every_planner() {
             mixed, oneshot,
             "{planner}: heterogeneous fleet disagrees with run_fast"
         );
+    }
+}
+
+/// Double-submit on every fleet: the second serve of each query is a
+/// tier-2 hit (zero build work) and still bit-identical to the first —
+/// the cached shard CSTs replay the same answer whether the kernels run
+/// on emulated FPGA cards, CPU fallback shares, or a mix.
+#[test]
+fn warm_tier2_serves_agree_across_fleets() {
+    let g = Arc::new(generate_ldbc(&LdbcParams::with_scale_factor(0.05), 42));
+    let queries: Vec<QueryGraph> = QUERY_MIX.iter().map(|&i| benchmark_query(i)).collect();
+
+    let fleets: [(usize, Vec<DeviceKind>); 3] = [
+        (2, Vec::new()),
+        (
+            0,
+            vec![DeviceKind::Cpu { threads: 2 }, DeviceKind::Cpu { threads: 4 }],
+        ),
+        (1, vec![DeviceKind::Cpu { threads: 4 }]),
+    ];
+    let mut reference: Option<Vec<u64>> = None;
+    for (fleet_idx, (devices, extra)) in fleets.into_iter().enumerate() {
+        let service = FastService::new(
+            Arc::clone(&g),
+            config(ShardPlanner::Auto, devices, extra),
+        );
+        let mut warm_counts = Vec::new();
+        for q in &queries {
+            let cold = service.submit(q.clone()).wait().expect("cold serve");
+            let warm = service.submit(q.clone()).wait().expect("warm serve");
+            assert!(!cold.cst_cache_hit, "fleet {fleet_idx}: first serve must miss");
+            assert!(
+                warm.cst_cache_hit,
+                "fleet {fleet_idx}: second serve must hit tier 2"
+            );
+            assert_eq!(
+                warm.build_time,
+                std::time::Duration::ZERO,
+                "fleet {fleet_idx}: tier-2 hit must build nothing"
+            );
+            assert_eq!(warm.topdown_entries, 0, "fleet {fleet_idx}: no top-down scan");
+            assert_eq!(
+                cold.embeddings, warm.embeddings,
+                "fleet {fleet_idx}: tier-2 replay changed the count"
+            );
+            assert_eq!(
+                cold.kernel_cycles, warm.kernel_cycles,
+                "fleet {fleet_idx}: tier-2 replay changed the modelled kernel work"
+            );
+            warm_counts.push(warm.embeddings);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.failed, 0);
+        assert!(report.cst_cache.hits >= queries.len() as u64);
+        match &reference {
+            None => reference = Some(warm_counts),
+            Some(r) => assert_eq!(
+                r, &warm_counts,
+                "fleet {fleet_idx}: warm counts differ across fleets"
+            ),
+        }
     }
 }
 
