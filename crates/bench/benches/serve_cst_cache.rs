@@ -37,6 +37,7 @@ fn bench_session_tiers(c: &mut Criterion) {
                 plan_cache_bytes: None,
                 cst_cache_bytes: cst_bytes,
                 max_in_flight: 4,
+                ..ServeConfig::default()
             },
         );
         // Prime the warm tiers so every measured iteration hits.

@@ -26,6 +26,7 @@ fn two_tenant_service(extra: Vec<DeviceKind>) -> (FastService, TenantId) {
             plan_cache_bytes: None,
             cst_cache_bytes: ServeConfig::default().cst_cache_bytes,
             max_in_flight: 8,
+            ..ServeConfig::default()
         },
     );
     let b = service

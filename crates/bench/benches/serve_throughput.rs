@@ -57,6 +57,7 @@ fn bench_session(c: &mut Criterion) {
                     ServeConfig::default().cst_cache_bytes
                 },
                 max_in_flight: 4,
+                ..ServeConfig::default()
             },
         );
         // Prime the warm cache so every measured iteration hits.

@@ -5,7 +5,7 @@
 //!
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
-//!        | hostscale | shardplan | serving | tenants | cstcache | snapshot
+//!        | hostscale | shardplan | serving | tenants | cstcache | chaos | snapshot
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -28,7 +28,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants cstcache snapshot"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants cstcache chaos snapshot"
                 );
                 std::process::exit(0);
             }
@@ -185,6 +185,19 @@ fn main() {
         };
         let rows = cst_cache::run(&mut cache, d, clients, requests);
         println!("{}", cst_cache::render(d, &rows));
+    }
+    if wants("chaos") {
+        // Fault-tolerance sweep: clean / wrapped-zero-fault / moderate /
+        // heavy fleets, self-asserting bit-identity, exactly-once retry
+        // accounting, an eviction under heavy chaos, and < 2% fault-free
+        // injection overhead; quick mode stays at DG01.
+        let (d, clients, requests): (DatasetId, usize, usize) = if opts.quick {
+            (DatasetId::Dg01, 2, 10)
+        } else {
+            (DatasetId::Dg03, 4, 16)
+        };
+        let rows = chaos::run(&mut cache, d, clients, requests);
+        println!("{}", chaos::render(d, &rows));
     }
     if wants("snapshot") {
         // Binary CSR snapshot round-trip: load-vs-build wall per dataset.

@@ -52,6 +52,7 @@ fn serve_config(clients: usize, cst_budget: usize) -> ServeConfig {
         plan_cache_bytes: None,
         cst_cache_bytes: cst_budget,
         max_in_flight: (2 * clients).max(1),
+        ..ServeConfig::default()
     }
 }
 

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation (DESIGN.md §4).
 
 pub mod ablation;
+pub mod chaos;
 pub mod cst_cache;
 pub mod fig07;
 pub mod fig08;

@@ -87,6 +87,7 @@ fn serve_config(fleet: Fleet, cache_capacity: usize, clients: usize) -> ServeCon
             ServeConfig::default().cst_cache_bytes
         },
         max_in_flight: (2 * clients).max(1),
+        ..ServeConfig::default()
     }
 }
 

@@ -139,6 +139,7 @@ fn serve_config(clients: usize, cache_capacity: usize) -> ServeConfig {
             ServeConfig::default().cst_cache_bytes
         },
         max_in_flight: (2 * clients).max(1),
+        ..ServeConfig::default()
     }
 }
 

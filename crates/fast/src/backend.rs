@@ -81,6 +81,55 @@ pub struct BackendSpec {
     pub threads: usize,
 }
 
+/// Why a backend failed to execute a partition. The taxonomy is the
+/// recovery policy's vocabulary: a serving layer retries
+/// [`Transient`](Self::Transient) / [`Corrupted`](Self::Corrupted) /
+/// [`Stalled`](Self::Stalled) failures (ideally on a different device) and
+/// evicts the device on [`Permanent`](Self::Permanent) ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// A one-off failure (dropped DMA transfer, ECC hiccup): the same
+    /// partition may well succeed on retry, even on the same device.
+    Transient(String),
+    /// The device is gone (bitstream wedged, card off the bus): no future
+    /// call on this backend can succeed.
+    Permanent(String),
+    /// The backend *detected* a corrupted result (checksum mismatch on the
+    /// readback path). Silent corruption — a bit-flip the device cannot
+    /// see — surfaces as a wrong `Ok` output instead and is only caught by
+    /// cross-checking against a second backend.
+    Corrupted(String),
+    /// The call ran past the watchdog: the kernel is presumed hung and the
+    /// partition must be re-executed elsewhere.
+    Stalled {
+        /// The watchdog budget that expired, in seconds.
+        watchdog_sec: f64,
+    },
+}
+
+impl BackendError {
+    /// Whether the device itself is dead (vs the single call having
+    /// failed): permanent errors evict, everything else retries.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, BackendError::Permanent(_))
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Transient(msg) => write!(f, "transient device error: {msg}"),
+            BackendError::Permanent(msg) => write!(f, "permanent device failure: {msg}"),
+            BackendError::Corrupted(msg) => write!(f, "corrupted result: {msg}"),
+            BackendError::Stalled { watchdog_sec } => {
+                write!(f, "kernel stalled past the {watchdog_sec:.3} s watchdog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// Result of executing one partition on one backend.
 #[derive(Debug, Clone, Default)]
 pub struct BackendOutput {
@@ -110,8 +159,13 @@ pub trait ExecutionBackend: Send + Sync {
     /// comparable (if rough) prices.
     fn prior_sec_per_workload(&self) -> f64;
 
-    /// Executes `job`'s partition and prices it.
-    fn execute(&self, job: &PartitionJob, ctx: &QueryCtx<'_>) -> BackendOutput;
+    /// Executes `job`'s partition and prices it. Execution is fallible: a
+    /// real device sees transient errors, hangs, and corrupted readback —
+    /// a [`BackendError`] names the failure mode so the serving layer can
+    /// retry, reroute, or evict. The in-process backends below never fail;
+    /// [`crate::fault::FaultInjector`] wraps any backend with a seeded
+    /// fault schedule for tests and chaos figures.
+    fn execute(&self, job: &PartitionJob, ctx: &QueryCtx<'_>) -> Result<BackendOutput, BackendError>;
 }
 
 /// The emulated-FPGA backend: [`run_kernel`] plus the variant's cycle
@@ -170,15 +224,19 @@ impl ExecutionBackend for FpgaBackend {
         self.spec.cycles_to_sec(unit)
     }
 
-    fn execute(&self, job: &PartitionJob, ctx: &QueryCtx<'_>) -> BackendOutput {
+    fn execute(
+        &self,
+        job: &PartitionJob,
+        ctx: &QueryCtx<'_>,
+    ) -> Result<BackendOutput, BackendError> {
         let out = self.run(&job.cst, ctx.kernel_plan, ctx.collect);
         let kernel_cycles = self.price_cycles(out.counts);
-        BackendOutput {
+        Ok(BackendOutput {
             embeddings: out.embeddings,
             collected: out.collected,
             kernel_cycles,
             modeled_sec: self.spec.cycles_to_sec(kernel_cycles),
-        }
+        })
     }
 }
 
@@ -223,8 +281,12 @@ impl ExecutionBackend for CpuBackend {
             / self.cost.parallel_speedup(self.threads)
     }
 
-    fn execute(&self, job: &PartitionJob, ctx: &QueryCtx<'_>) -> BackendOutput {
-        match ctx.collect {
+    fn execute(
+        &self,
+        job: &PartitionJob,
+        ctx: &QueryCtx<'_>,
+    ) -> Result<BackendOutput, BackendError> {
+        Ok(match ctx.collect {
             CollectMode::CountOnly => {
                 let (_, stats) = run_backtrack(
                     ctx.query,
@@ -264,7 +326,7 @@ impl ExecutionBackend for CpuBackend {
                     modeled_sec: self.cost.parallel_search_time_sec(&engine, self.threads),
                 }
             }
-        }
+        })
     }
 }
 
@@ -301,7 +363,7 @@ mod tests {
         };
         let (mut embeddings, mut partitions, mut modeled) = (0u64, 0usize, 0.0f64);
         prepare_partitions(&q, &g, &config, &tree, &order, &mut |job| {
-            let out = backend.execute(&job, &ctx);
+            let out = backend.execute(&job, &ctx).expect("fault-free backend");
             embeddings += out.embeddings;
             partitions += 1;
             modeled += out.modeled_sec;
@@ -343,7 +405,7 @@ mod tests {
         };
         let mut embeddings = 0u64;
         prepare_partitions(&q, &g, &config, &tree, &order, &mut |job| {
-            let out = cpu.execute(&job, &ctx);
+            let out = cpu.execute(&job, &ctx).expect("fault-free backend");
             assert!(out.collected.len() <= 1);
             embeddings += out.embeddings;
         });

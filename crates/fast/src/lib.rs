@@ -27,7 +27,11 @@
 //! * [`host`] — the co-designed driver (Fig. 2);
 //! * [`backend`] — the [`ExecutionBackend`] seam: partition execution +
 //!   cost-model pricing behind one trait (emulated FPGA or CPU fallback),
-//!   the unit a heterogeneous serving pool schedules;
+//!   the unit a heterogeneous serving pool schedules; execution is
+//!   fallible ([`BackendError`]) so a serving layer can retry and reroute;
+//! * [`fault`] — [`FaultInjector`]: a deterministic seeded fault-injecting
+//!   wrapper backend (transient errors, permanent death, stalls, silent
+//!   corruption, slowdowns) for chaos tests and figures;
 //! * [`multi_fpga`] — the Section VII-E extension;
 //! * [`des_check`] — discrete-event cross-validation of the cycle model.
 
@@ -35,6 +39,7 @@ pub mod backend;
 pub mod buffer;
 pub mod config;
 pub mod des_check;
+pub mod fault;
 pub mod host;
 pub mod kernel;
 pub mod multi_fpga;
@@ -43,9 +48,11 @@ pub mod scheduler;
 pub mod variants;
 
 pub use backend::{
-    BackendClass, BackendOutput, BackendSpec, CpuBackend, ExecutionBackend, FpgaBackend, QueryCtx,
+    BackendClass, BackendError, BackendOutput, BackendSpec, CpuBackend, ExecutionBackend,
+    FpgaBackend, QueryCtx,
 };
 pub use config::FastConfig;
+pub use fault::{FaultCounters, FaultInjector, FaultPlan};
 pub use cst::{ShardPlan, ShardPlanner};
 pub use host::{
     prepare_partitions, run_fast, run_fast_with_order, FastError, FastReport, PartitionJob,

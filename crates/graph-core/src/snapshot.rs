@@ -222,12 +222,33 @@ pub fn read_snapshot(r: &mut dyn Read) -> Result<Graph, SnapshotError> {
     Ok(Graph::from_csr_parts(labels, offsets, neighbors, m))
 }
 
-/// Saves `g` to `path` (buffered; atomicity is the caller's concern).
+/// Saves `g` to `path` **atomically**: the snapshot is written to a
+/// sibling temp file, flushed and fsynced, then renamed over `path`. A
+/// crash (or error) mid-write leaves either the old snapshot or nothing —
+/// never a torn file — and the failed temp file is cleaned up. Readers
+/// concurrently loading `path` see the old or the new snapshot, whole.
 pub fn save_snapshot(g: &Graph, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    write_snapshot(g, &mut w)?;
-    w.flush()?;
-    Ok(())
+    let path = path.as_ref();
+    // Unique per process so two writers never stomp each other's temp; the
+    // final rename still serialises on the filesystem.
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = (|| {
+        let file = File::create(&tmp)?;
+        let mut w = BufWriter::new(file);
+        write_snapshot(g, &mut w)?;
+        w.flush()?;
+        // Durability before visibility: the bytes must be on disk before
+        // the rename can expose them under the real name.
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if write.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    write
 }
 
 /// Loads a graph previously written by [`save_snapshot`].
@@ -310,6 +331,49 @@ mod tests {
         bad[0] = b'X';
         let err = read_snapshot(&mut bad.as_slice()).unwrap_err();
         assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("magic")), "{err}");
+    }
+
+    #[test]
+    fn save_is_atomic_over_an_existing_snapshot() {
+        let old = random_labelled_graph(60, 0.2, 3, 5);
+        let new = random_labelled_graph(60, 0.2, 3, 6);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("fast-snap-atomic-{}.bin", std::process::id()));
+        save_snapshot(&old, &path).unwrap();
+
+        // A failed save must leave the previous snapshot intact and clean
+        // up its temp file. Simulate the failure by making the temp path
+        // uncreatable: a directory already squats on it.
+        let tmp = {
+            let mut t = path.as_os_str().to_owned();
+            t.push(format!(".tmp.{}", std::process::id()));
+            std::path::PathBuf::from(t)
+        };
+        std::fs::create_dir(&tmp).unwrap();
+        let err = save_snapshot(&new, &path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+        std::fs::remove_dir(&tmp).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(
+            graph_fingerprint(&back),
+            graph_fingerprint(&old),
+            "a failed save must not tear the existing snapshot"
+        );
+
+        // A successful save replaces it whole and leaves no temp litter.
+        save_snapshot(&new, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(graph_fingerprint(&back), graph_fingerprint(&new));
+        assert!(!tmp.exists(), "temp file renamed away, not left behind");
+
+        // Torn-write witness: a prefix of a snapshot (what a non-atomic
+        // writer could leave after a crash) is rejected as truncated by
+        // the loader — the rename protocol exists so this is never seen.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("truncated")), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -26,14 +26,24 @@
 //!   seconds**: each backend (FPGA card under the cycle model, CPU share
 //!   under the search-cost model) is priced by its own observed rate, so
 //!   the scheduler steers work toward whatever drains fastest (the
-//!   multi-FPGA regime of Section VII-E, generalised);
+//!   multi-FPGA regime of Section VII-E, generalised) — with per-device
+//!   [`HealthState`] tracking: consecutive failures quarantine a device
+//!   for a doubling penalty window, an expired quarantine re-admits on
+//!   probation, permanent errors evict for good;
 //! * [`service`] — admission control with **bounded in-flight depth**
 //!   (submissions block when the service is saturated — backpressure, not
 //!   unbounded queueing), worker threads running the decoupled
 //!   prepare/execute phases (`fast::prepare_partitions`), snapshot-loaded
 //!   tenants ([`FastService::load_tenant_snapshot`] skips graph rebuild via
-//!   `graph_core::snapshot`), and [`SessionHandle`]s streaming
-//!   per-partition results back as backends drain;
+//!   `graph_core::snapshot`), [`SessionHandle`]s streaming per-partition
+//!   results back as backends drain, and **fault-tolerant execution**
+//!   ([`FaultPolicy`]): failed partitions retry with bounded exponential
+//!   backoff and reroute to the shortest-expected-completion healthy
+//!   device, corrupted outputs are caught by cross-checking a second
+//!   execution, sessions past their deadline
+//!   ([`ServeConfig::deadline`](service::ServeConfig) /
+//!   [`TenantConfig::deadline`]) are shed with a typed error, and a fully
+//!   quarantined fleet degrades to an emergency CPU share;
 //! * [`metrics`] — per-query, per-tenant, and service-level metrics
 //!   ([`ServeReport`], [`TenantSummary`]): sustained QPS, queue wait,
 //!   p50/p99 latency, cache hit rate, per-device utilisation.
@@ -79,10 +89,12 @@ pub mod service;
 pub mod tenant;
 
 pub use cache::{CacheBudget, CacheStats, CstCache, PlanCache, SizedCache};
-pub use devices::{DeviceKind, DevicePool, DeviceStats};
+pub use devices::{
+    DeviceKind, DevicePool, DeviceStats, HealthState, QUARANTINE_BASE_TICKS, QUARANTINE_THRESHOLD,
+};
 pub use metrics::{ServeReport, TenantSummary};
 pub use service::{
-    FastService, PartitionUpdate, QueryReport, ServeConfig, ServeError, SessionEvent,
+    FastService, FaultPolicy, PartitionUpdate, QueryReport, ServeConfig, ServeError, SessionEvent,
     SessionHandle,
 };
 pub use tenant::{TenantConfig, TenantId, INITIAL_GRAPH_EPOCH};

@@ -42,8 +42,31 @@ pub struct ServeReport {
     pub submitted: u64,
     /// Sessions completed successfully.
     pub completed: u64,
-    /// Sessions that failed (e.g. query exceeds the kernel register budget).
+    /// Sessions that failed (e.g. query exceeds the kernel register budget,
+    /// or a partition exhausted its retry budget).
     pub failed: u64,
+    /// Sessions shed past their deadline
+    /// ([`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded));
+    /// counted separately from
+    /// [`failed`](Self::failed) — a shed session was dropped by policy,
+    /// not broken.
+    pub deadline_misses: u64,
+    /// Failed execution attempts that were retried on another admission.
+    /// Reconciles exactly against Σ `DeviceStats::failures` over
+    /// [`devices`](Self::devices) — every device failure is retried
+    /// exactly once (the exactly-once accounting the chaos tests assert).
+    pub retries: u64,
+    /// Retries that rerouted to a *different* device than the one that
+    /// failed.
+    pub failovers: u64,
+    /// Times any device entered quarantine (Σ `DeviceStats::quarantines`).
+    pub quarantines: u64,
+    /// Corrupted outputs the cross-check caught and outvoted
+    /// (Σ `DeviceStats::corruptions` as attributed by the service).
+    pub corruption_catches: u64,
+    /// Wall seconds spent executing on the emergency CPU fallback because
+    /// the whole pool was quarantined or evicted (degraded mode).
+    pub degraded_sec: f64,
     /// Total embeddings across completed sessions.
     pub total_embeddings: u64,
     /// Tier-1 plan-cache counters (hit rate, evictions).
@@ -115,6 +138,16 @@ pub struct TenantSummary {
     pub completed: u64,
     /// Sessions failed for this tenant.
     pub failed: u64,
+    /// Sessions of this tenant shed past their deadline.
+    pub deadline_misses: u64,
+    /// Failed execution attempts retried on this tenant's behalf.
+    pub retries: u64,
+    /// Retries that rerouted to a different device.
+    pub failovers: u64,
+    /// Corrupted outputs the cross-check caught for this tenant.
+    pub corruption_catches: u64,
+    /// Wall seconds this tenant's sessions spent on the CPU fallback.
+    pub degraded_sec: f64,
     /// Embeddings across the tenant's completed sessions.
     pub total_embeddings: u64,
     /// Completed sessions per second of the tenant's serving wall (its own
@@ -191,6 +224,7 @@ impl ServeReport {
             self.device_makespan_sec,
             self.device_busy_sec,
             self.device_imbalance,
+            self.degraded_sec,
             self.cache.hit_rate(),
             self.cst_cache.hit_rate(),
         ]

@@ -39,13 +39,66 @@ use crate::devices::{DeviceKind, DevicePool, DeviceStats};
 use crate::metrics::{ServeReport, TenantSummary};
 use crate::tenant::{TenantConfig, TenantId, WrrQueue};
 use cst::PlanKey;
-use fast::{prepare_partitions, BackendClass, FastConfig, KernelPlan, QueryCtx, ShardPlanner};
+use fast::{
+    prepare_partitions, BackendClass, BackendOutput, CpuBackend, ExecutionBackend, FastConfig,
+    KernelPlan, PartitionJob, QueryCtx, ShardPlanner,
+};
 use graph_core::{path_based_order, select_root, BfsTree, Graph, QueryGraph, VertexId};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{
+    mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Poison-tolerant [`Mutex`] acquisition. A panicking session is already
+/// contained — the worker's `catch_unwind` absorbs the unwind and drop
+/// guards release its slot and flight — and every state these locks
+/// protect (counters, queues, cache tables, the device pool) is consistent
+/// whenever a guard is held across a possible panic site. Propagating the
+/// poison instead would cascade [`ServeError::Disconnected`] to every
+/// other tenant for a failure that was one session's own.
+pub(crate) trait MutexExt<T> {
+    fn plock(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> MutexExt<T> for Mutex<T> {
+    fn plock(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Poison-tolerant [`RwLock`] acquisition (see [`MutexExt`]).
+pub(crate) trait RwLockExt<T> {
+    fn pread(&self) -> RwLockReadGuard<'_, T>;
+    fn pwrite(&self) -> RwLockWriteGuard<'_, T>;
+}
+
+impl<T> RwLockExt<T> for RwLock<T> {
+    fn pread(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn pwrite(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Poison-tolerant [`Condvar::wait`].
+fn pwait<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cond.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant [`Condvar::wait_while`].
+fn pwait_while<'a, T, F: FnMut(&mut T) -> bool>(
+    cond: &Condvar,
+    guard: MutexGuard<'a, T>,
+    condition: F,
+) -> MutexGuard<'a, T> {
+    cond.wait_while(guard, condition)
+        .unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of a [`FastService`].
 #[derive(Debug, Clone)]
@@ -84,6 +137,55 @@ pub struct ServeConfig {
     /// [`FastService::submit`] blocks once this many sessions are admitted
     /// but not yet completed.
     pub max_in_flight: usize,
+    /// Default per-session deadline, measured from submission: a session
+    /// still queued (or still executing) past it is shed with
+    /// [`ServeError::DeadlineExceeded`] instead of stalling its tenant's
+    /// DRR lane. `None` disables deadlines. Override per tenant via
+    /// [`TenantConfig::deadline`].
+    pub deadline: Option<Duration>,
+    /// Recovery policy: retry/failover bounds, output cross-checking, and
+    /// the degraded-mode CPU fallback.
+    pub fault: FaultPolicy,
+}
+
+/// Recovery policy of the serving layer: what happens when a device
+/// returns [`fast::BackendError`], lies ([`FaultPolicy::cross_check`]), or
+/// when the whole fleet is quarantined/evicted
+/// ([`FaultPolicy::cpu_fallback`]).
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// Execution attempts per partition before its session fails. Each
+    /// failed attempt releases the booking, advances the device's health
+    /// state machine, and reroutes to the shortest-expected-completion
+    /// healthy device *other than* the one that just failed.
+    pub max_attempts: usize,
+    /// Backoff slept before retry `k`: `backoff << (k-1)`, capped at 64×.
+    /// Kept tiny by default — the devices are emulated, so this models the
+    /// driver's re-queue cost rather than real recovery time.
+    pub backoff: Duration,
+    /// Re-execute every partition on a *second* device and cross-check the
+    /// results (embedding count + collected embeddings); disagreeing
+    /// devices are marked suspect (counting toward quarantine) until two
+    /// executions agree. Catches silent corruption at ~2× device work.
+    pub cross_check: bool,
+    /// When every pool device is quarantined or evicted, execute on an
+    /// emergency host CPU share (degraded mode) instead of shedding the
+    /// session with [`ServeError::Degraded`].
+    pub cpu_fallback: bool,
+    /// Threads of the emergency CPU share.
+    pub fallback_threads: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_attempts: 4,
+            backoff: Duration::from_micros(50),
+            cross_check: false,
+            cpu_fallback: true,
+            fallback_threads: 4,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -107,6 +209,8 @@ impl Default for ServeConfig {
             // bounds residency regardless of query mix.
             cst_cache_bytes: 64 << 20,
             max_in_flight: 64,
+            deadline: None,
+            fault: FaultPolicy::default(),
         }
     }
 }
@@ -190,6 +294,17 @@ pub struct QueryReport {
     /// Modelled execution seconds across all partitions, each under its
     /// executing backend's own cost model.
     pub device_sec: f64,
+    /// Failed execution attempts this session retried (each one released
+    /// its booking and rerouted).
+    pub retries: u64,
+    /// Retries that landed on a *different* device than the one that
+    /// failed (rerouting, not same-device re-execution).
+    pub failovers: u64,
+    /// Corrupted outputs the cross-check caught and outvoted.
+    pub corruption_catches: u64,
+    /// Wall seconds this session spent executing on the emergency CPU
+    /// fallback because the whole pool was quarantined or evicted.
+    pub degraded_sec: f64,
 }
 
 /// Events a [`SessionHandle`] receives, in order: zero or more
@@ -200,8 +315,13 @@ pub enum SessionEvent {
     Partition(PartitionUpdate),
     /// The session completed; final report.
     Done(QueryReport),
-    /// The session failed (message from the planning/validation layer).
-    Failed(String),
+    /// The session failed with a typed error —
+    /// [`ServeError::Failed`] from the planning/validation layer or a
+    /// partition that exhausted its retry budget,
+    /// [`ServeError::DeadlineExceeded`] for a session shed past its
+    /// deadline, [`ServeError::Degraded`] for a session shed because the
+    /// whole fleet was down (CPU fallback disabled).
+    Failed(ServeError),
 }
 
 /// Typed service errors: session outcomes ([`Failed`](Self::Failed),
@@ -221,6 +341,13 @@ pub enum ServeError {
     UnknownTenant(TenantId),
     /// A tenant snapshot failed to load.
     Snapshot(String),
+    /// The session's deadline ([`ServeConfig::deadline`] /
+    /// [`TenantConfig::deadline`]) passed before it finished; queued or
+    /// remaining work was shed.
+    DeadlineExceeded,
+    /// Every pool device is quarantined or evicted and the CPU fallback is
+    /// disabled: the session was shed rather than queued forever.
+    Degraded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -232,6 +359,13 @@ impl std::fmt::Display for ServeError {
             ServeError::ZeroQuota => write!(f, "tenant quota must be >= 1"),
             ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
             ServeError::Snapshot(msg) => write!(f, "snapshot load failed: {msg}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "session shed: deadline exceeded before completion")
+            }
+            ServeError::Degraded => write!(
+                f,
+                "service degraded: every device is quarantined or evicted"
+            ),
         }
     }
 }
@@ -268,7 +402,7 @@ impl SessionHandle {
         loop {
             match self.rx.recv() {
                 Ok(SessionEvent::Done(report)) => return Ok(report),
-                Ok(SessionEvent::Failed(msg)) => return Err(ServeError::Failed(msg)),
+                Ok(SessionEvent::Failed(err)) => return Err(err),
                 Ok(SessionEvent::Partition(_)) => continue,
                 Err(_) => return Err(ServeError::Disconnected),
             }
@@ -283,6 +417,9 @@ struct TenantState {
     id: TenantId,
     graph: Arc<Graph>,
     quota: u32,
+    /// Resolved per-session deadline: the tenant's own override or the
+    /// service default.
+    deadline: Option<Duration>,
     /// Graph epoch folded into this tenant's cache keys (both tiers);
     /// bump on any graph change so stale entries can never hit.
     epoch: AtomicU64,
@@ -371,6 +508,11 @@ struct MetricsState {
     completed: u64,
     failed: u64,
     total_embeddings: u64,
+    retries: u64,
+    failovers: u64,
+    corruption_catches: u64,
+    deadline_misses: u64,
+    degraded_sec: f64,
     latencies: SampleVec,
     queue_waits: SampleVec,
     device_queues: SampleVec,
@@ -410,6 +552,11 @@ struct Inner {
     pending_plans: Mutex<HashSet<(TenantId, PlanKey)>>,
     pending_cond: Condvar,
     devices: Mutex<DevicePool>,
+    /// The emergency CPU share of degraded mode: partitions run here when
+    /// every pool device is quarantined or evicted (and
+    /// [`FaultPolicy::cpu_fallback`] allows it). `PartitionUpdate::device`
+    /// reports it as the virtual index `pool.len()`.
+    fallback: Option<Arc<CpuBackend>>,
     /// The queued session table: one weighted lane per tenant.
     queue: Mutex<WrrQueue<Submission>>,
     queue_cond: Condvar,
@@ -426,8 +573,7 @@ impl Inner {
             return Ok(Arc::clone(&self.default_tenant));
         }
         self.tenants
-            .read()
-            .expect("tenant registry")
+            .pread()
             .get(&id)
             .cloned()
             .ok_or(ServeError::UnknownTenant(id))
@@ -476,6 +622,7 @@ impl FastService {
             id: TenantId::DEFAULT,
             graph: graph.into(),
             quota: 1,
+            deadline: config.deadline,
             epoch: AtomicU64::new(TenantConfig::default().epoch),
             cache: Mutex::new(plan_cache_for(&config, None)),
             cst_cache: Mutex::new(CstCache::new(config.cst_cache_bytes)),
@@ -494,6 +641,10 @@ impl FastService {
             pending_plans: Mutex::new(HashSet::new()),
             pending_cond: Condvar::new(),
             devices: Mutex::new(pool),
+            fallback: config
+                .fault
+                .cpu_fallback
+                .then(|| Arc::new(CpuBackend::new(config.fault.fallback_threads))),
             queue: Mutex::new(queue),
             queue_cond: Condvar::new(),
             shutting_down: AtomicBool::new(false),
@@ -509,7 +660,7 @@ impl FastService {
                     // Pop the next submission in weighted round-robin
                     // order; hold the table lock only for the pop.
                     let sub = {
-                        let mut queue = inner.queue.lock().expect("session table");
+                        let mut queue = inner.queue.plock();
                         loop {
                             if let Some(sub) = queue.pop() {
                                 break sub;
@@ -517,7 +668,7 @@ impl FastService {
                             if inner.shutting_down.load(Ordering::Acquire) {
                                 return;
                             }
-                            queue = inner.queue_cond.wait(queue).expect("session table");
+                            queue = pwait(&inner.queue_cond, queue);
                         }
                     };
                     // A panicking session must not kill the worker: its
@@ -530,11 +681,13 @@ impl FastService {
                     );
                     if outcome.is_err() {
                         let now = Instant::now();
-                        if let Ok(mut m) = inner.metrics.lock() {
+                        {
+                            let mut m = inner.metrics.plock();
                             m.failed += 1;
                             m.last_done = Some(now);
                         }
-                        if let Ok(mut m) = tenant.metrics.lock() {
+                        {
+                            let mut m = tenant.metrics.plock();
                             m.failed += 1;
                             m.last_done = Some(now);
                         }
@@ -565,6 +718,7 @@ impl FastService {
             id,
             graph: graph.into(),
             quota: config.quota,
+            deadline: config.deadline.or(self.inner.config.deadline),
             epoch: AtomicU64::new(config.epoch),
             cache: Mutex::new(plan_cache_for(&self.inner.config, config.cache_capacity)),
             cst_cache: Mutex::new(CstCache::new(cst_budget)),
@@ -574,13 +728,11 @@ impl FastService {
         // after `add_tenant` returns, and by then both exist.
         self.inner
             .queue
-            .lock()
-            .expect("session table")
+            .plock()
             .add_lane(id, config.quota);
         self.inner
             .tenants
-            .write()
-            .expect("tenant registry")
+            .pwrite()
             .insert(id, state);
         Ok(id)
     }
@@ -621,8 +773,7 @@ impl FastService {
         // artifacts squat the byte budget until eviction.
         state
             .cst_cache
-            .lock()
-            .expect("tenant cst cache")
+            .plock()
             .clear();
         Ok(epoch)
     }
@@ -643,12 +794,10 @@ impl FastService {
     ) -> Result<SessionHandle, ServeError> {
         let state = self.inner.tenant(tenant)?;
         {
-            let gate = self.inner.gate.lock().expect("gate");
-            let mut gate = self
-                .inner
-                .gate_cond
-                .wait_while(gate, |g| g.in_flight >= self.inner.config.max_in_flight)
-                .expect("gate");
+            let gate = self.inner.gate.plock();
+            let mut gate = pwait_while(&self.inner.gate_cond, gate, |g| {
+                g.in_flight >= self.inner.config.max_in_flight
+            });
             gate.in_flight += 1;
             gate.max_seen = gate.max_seen.max(gate.in_flight);
         }
@@ -659,7 +808,7 @@ impl FastService {
     /// back when the service is saturated.
     pub fn try_submit(&self, query: QueryGraph) -> Result<SessionHandle, QueryGraph> {
         {
-            let mut gate = self.inner.gate.lock().expect("gate");
+            let mut gate = self.inner.gate.plock();
             if gate.in_flight >= self.inner.config.max_in_flight {
                 return Err(query);
             }
@@ -675,12 +824,12 @@ impl FastService {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         {
-            let mut m = self.inner.metrics.lock().expect("metrics");
+            let mut m = self.inner.metrics.plock();
             m.submitted += 1;
             m.first_submit.get_or_insert(now);
         }
         {
-            let mut m = tenant.metrics.lock().expect("tenant metrics");
+            let mut m = tenant.metrics.plock();
             m.submitted += 1;
             m.first_submit.get_or_insert(now);
         }
@@ -694,8 +843,7 @@ impl FastService {
         let pushed = self
             .inner
             .queue
-            .lock()
-            .expect("session table")
+            .plock()
             .push(tenant_id, submission);
         debug_assert!(pushed, "validated tenant must have a lane");
         self.inner.queue_cond.notify_one();
@@ -711,12 +859,11 @@ impl FastService {
     /// aggregation run with no lock held, so a report never stalls
     /// admission or dispatch.
     pub fn report(&self) -> ServeReport {
-        let metrics = self.inner.metrics.lock().expect("metrics").clone();
+        let metrics = self.inner.metrics.plock().clone();
         let tenants: Vec<Arc<TenantState>> = self
             .inner
             .tenants
-            .read()
-            .expect("tenant registry")
+            .pread()
             .values()
             .cloned()
             .collect();
@@ -725,16 +872,16 @@ impl FastService {
         let mut cst_resident_bytes = 0usize;
         let mut summaries = Vec::with_capacity(tenants.len());
         for t in &tenants {
-            cache.absorb(&t.cache.lock().expect("tenant cache").stats());
+            cache.absorb(&t.cache.plock().stats());
             {
-                let cc = t.cst_cache.lock().expect("tenant cst cache");
+                let cc = t.cst_cache.plock();
                 cst_cache.absorb(&cc.stats());
                 cst_resident_bytes += cc.resident_bytes();
             }
             summaries.push(tenant_summary(t));
         }
         let pool = {
-            let devices = self.inner.devices.lock().expect("devices");
+            let devices = self.inner.devices.plock();
             PoolView {
                 stats: devices.snapshot(),
                 makespan_sec: devices.makespan_sec(),
@@ -742,7 +889,7 @@ impl FastService {
                 imbalance: devices.imbalance(),
             }
         };
-        let max_seen = self.inner.gate.lock().expect("gate").max_seen;
+        let max_seen = self.inner.gate.plock().max_seen;
         assemble_report(
             &metrics,
             cache,
@@ -796,10 +943,10 @@ fn plan_cache_for(config: &ServeConfig, capacity_override: Option<usize>) -> Pla
 }
 
 fn tenant_summary(t: &TenantState) -> TenantSummary {
-    let m = t.metrics.lock().expect("tenant metrics").clone();
-    let cache = t.cache.lock().expect("tenant cache").stats();
+    let m = t.metrics.plock().clone();
+    let cache = t.cache.plock().stats();
     let (cst_stats, cst_resident_bytes) = {
-        let cc = t.cst_cache.lock().expect("tenant cst cache");
+        let cc = t.cst_cache.plock();
         (cc.stats(), cc.resident_bytes())
     };
     let wall_sec = match (m.first_submit, m.last_done) {
@@ -813,6 +960,11 @@ fn tenant_summary(t: &TenantState) -> TenantSummary {
         submitted: m.submitted,
         completed: m.completed,
         failed: m.failed,
+        deadline_misses: m.deadline_misses,
+        retries: m.retries,
+        failovers: m.failovers,
+        corruption_catches: m.corruption_catches,
+        degraded_sec: m.degraded_sec,
         total_embeddings: m.total_embeddings,
         qps: if wall_sec > 0.0 {
             m.completed as f64 / wall_sec
@@ -845,6 +997,14 @@ fn assemble_report(
         submitted: m.submitted,
         completed: m.completed,
         failed: m.failed,
+        deadline_misses: m.deadline_misses,
+        retries: m.retries,
+        failovers: m.failovers,
+        // Quarantines live on the devices, not the sessions: the pool
+        // snapshot is their ground truth.
+        quarantines: pool.stats.iter().map(|d| d.quarantines).sum(),
+        corruption_catches: m.corruption_catches,
+        degraded_sec: m.degraded_sec,
         total_embeddings: m.total_embeddings,
         cache,
         cst_cache,
@@ -889,9 +1049,7 @@ struct FlightGuard<'a> {
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        if let Ok(mut pending) = self.inner.pending_plans.lock() {
-            pending.remove(&self.key);
-        }
+        self.inner.pending_plans.plock().remove(&self.key);
         self.inner.pending_cond.notify_all();
     }
 }
@@ -904,7 +1062,8 @@ struct SlotGuard<'a> {
 
 impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
-        if let Ok(mut gate) = self.inner.gate.lock() {
+        {
+            let mut gate = self.inner.gate.plock();
             gate.in_flight = gate.in_flight.saturating_sub(1);
         }
         self.inner.gate_cond.notify_all();
@@ -928,11 +1087,25 @@ fn serve_one(inner: &Inner, sub: Submission) {
     let kernel_plan = match KernelPlan::new(q, &order, &tree) {
         Ok(p) => p,
         Err(e) => {
-            let _ = sub.tx.send(SessionEvent::Failed(e.to_string()));
+            let _ = sub
+                .tx
+                .send(SessionEvent::Failed(ServeError::Failed(e.to_string())));
             finish(inner, tenant, FinishOutcome::Failed);
             return;
         }
     };
+
+    // Deadline shed at pickup: a session that waited out its whole budget
+    // in the queue does no work at all — shedding it is what keeps a
+    // backlogged DRR lane from stalling every tenant behind doomed work.
+    let deadline = tenant.deadline;
+    if let Some(dl) = deadline {
+        if queue_wait > dl {
+            let _ = sub.tx.send(SessionEvent::Failed(ServeError::DeadlineExceeded));
+            finish(inner, tenant, FinishOutcome::DeadlineMiss);
+            return;
+        }
+    }
 
     // Two-tier lookup under one single-flight gate, keyed (tenant, key):
     //
@@ -956,20 +1129,19 @@ fn serve_one(inner: &Inner, sub: Submission) {
     let epoch = tenant.epoch.load(Ordering::Relaxed);
     let key = PlanKey::derive(q, &tree, &pipe_opts, epoch);
     let flight_key = (tenant.id, key);
-    let cache_enabled = tenant.cache.lock().expect("tenant cache").capacity() > 0;
+    let cache_enabled = tenant.cache.plock().capacity() > 0;
     let cst_enabled = tenant
         .cst_cache
-        .lock()
-        .expect("tenant cst cache")
+        .plock()
         .budget_bytes()
         > 0;
     let mut cached_plan = None;
     let mut cached_artifact = None;
     let mut flight = None;
     if cache_enabled || cst_enabled {
-        let mut pending = inner.pending_plans.lock().expect("pending plans");
+        let mut pending = inner.pending_plans.plock();
         while pending.contains(&flight_key) {
-            pending = inner.pending_cond.wait(pending).expect("pending plans");
+            pending = pwait(&inner.pending_cond, pending);
         }
         // Tier 2 first: a hit needs neither the plan nor a flight. (The
         // plan cache deliberately sees no lookup — its counters then
@@ -977,13 +1149,12 @@ fn serve_one(inner: &Inner, sub: Submission) {
         if cst_enabled {
             cached_artifact = tenant
                 .cst_cache
-                .lock()
-                .expect("tenant cst cache")
+                .plock()
                 .get(&key);
         }
         if cached_artifact.is_none() {
             if cache_enabled {
-                cached_plan = tenant.cache.lock().expect("tenant cache").get(&key);
+                cached_plan = tenant.cache.plock().get(&key);
             }
             if cached_plan.is_none() || cst_enabled {
                 pending.insert(flight_key);
@@ -998,10 +1169,9 @@ fn serve_one(inner: &Inner, sub: Submission) {
         // both tiers' counters record it.
         cached_artifact = tenant
             .cst_cache
-            .lock()
-            .expect("tenant cst cache")
+            .plock()
             .get(&key);
-        cached_plan = tenant.cache.lock().expect("tenant cache").get(&key);
+        cached_plan = tenant.cache.plock().get(&key);
     }
     let cst_cache_hit = cached_artifact.is_some();
     let plan_hit = cached_plan.is_some();
@@ -1022,8 +1192,7 @@ fn serve_one(inner: &Inner, sub: Submission) {
                 if cache_enabled {
                     tenant
                         .cache
-                        .lock()
-                        .expect("tenant cache")
+                        .plock()
                         .insert(key, Arc::clone(&plan));
                 }
                 plan
@@ -1051,25 +1220,35 @@ fn serve_one(inner: &Inner, sub: Submission) {
     let mut partitions = 0usize;
     let mut kernel_cycles = 0u64;
     let mut device_sec = 0.0f64;
-    let mut device_queue_sec = 0.0f64;
+    // Fault accounting + the session-fatal flag: `prepare_partitions`
+    // streams partitions unconditionally, so a fatal error (retry budget
+    // exhausted, degraded fleet with fallback off, deadline passed
+    // mid-session) is latched here and the remaining partitions are
+    // skipped rather than executed.
+    let mut acc = FaultAcc::default();
+    let mut session_err: Option<ServeError> = None;
     // Wall spent inside this sink (admission + inline backend execution):
     // `PreparePhase::partition_time` includes it, the build split must not.
     let mut sink_exec = Duration::ZERO;
+    let policy = &inner.config.fault;
     let prep = prepare_partitions(q, g, &config, &tree, &order, &mut |job| {
+        if session_err.is_some() {
+            return;
+        }
+        if let Some(dl) = deadline {
+            if sub.submitted.elapsed() > dl {
+                session_err = Some(ServeError::DeadlineExceeded);
+                return;
+            }
+        }
         let sink_start = Instant::now();
-        let (device, queued_sec, backend) =
-            inner.devices.lock().expect("devices").admit(job.workload);
-        // Partitions on different devices drain in parallel; the session's
-        // completion is gated by the worst queue any of them joined.
-        device_queue_sec = device_queue_sec.max(queued_sec);
-        // Execute outside the pool lock: concurrent sessions overlap on
-        // different devices.
-        let out = backend.execute(&job, &ctx);
-        inner
-            .devices
-            .lock()
-            .expect("devices")
-            .complete(device, job.workload, out.modeled_sec, out.kernel_cycles);
+        let (device, class, out) = match execute_checked(inner, policy, &job, &ctx, &mut acc) {
+            Ok(done) => done,
+            Err(e) => {
+                session_err = Some(e);
+                return;
+            }
+        };
         embeddings += out.embeddings;
         partitions += 1;
         kernel_cycles += out.kernel_cycles;
@@ -1077,7 +1256,7 @@ fn serve_one(inner: &Inner, sub: Submission) {
         let _ = sub.tx.send(SessionEvent::Partition(PartitionUpdate {
             index: job.index,
             device,
-            backend: backend.spec().class,
+            backend: class,
             embeddings: out.embeddings,
             kernel_cycles: out.kernel_cycles,
             modeled_sec: out.modeled_sec,
@@ -1094,11 +1273,24 @@ fn serve_one(inner: &Inner, sub: Submission) {
     if let Some(artifact) = prep.prepared.as_ref() {
         tenant
             .cst_cache
-            .lock()
-            .expect("tenant cst cache")
+            .plock()
             .insert(key, Arc::clone(artifact));
     }
     drop(flight);
+    // The fault counters are folded in whatever the outcome — a session
+    // that retried five times and then missed its deadline still did the
+    // retries, and the chaos accounting reconciles service counters
+    // against per-device failure counters.
+    fold_faults(inner, tenant, &acc);
+    if let Some(err) = session_err {
+        let outcome = match err {
+            ServeError::DeadlineExceeded => FinishOutcome::DeadlineMiss,
+            _ => FinishOutcome::Failed,
+        };
+        let _ = sub.tx.send(SessionEvent::Failed(err));
+        finish(inner, tenant, outcome);
+        return;
+    }
     let now = Instant::now();
     let report = QueryReport {
         id: sub.id,
@@ -1121,18 +1313,217 @@ fn serve_one(inner: &Inner, sub: Submission) {
         seeded_shards: prep.seeded_shards,
         service_time: now.duration_since(picked),
         queue_wait,
-        device_queue_sec,
-        latency: now.duration_since(sub.submitted) + Duration::from_secs_f64(device_queue_sec),
+        device_queue_sec: acc.device_queue_sec,
+        latency: now.duration_since(sub.submitted)
+            + Duration::from_secs_f64(acc.device_queue_sec),
         kernel_cycles,
         device_sec,
+        retries: acc.retries,
+        failovers: acc.failovers,
+        corruption_catches: acc.corruption_catches,
+        degraded_sec: acc.degraded_sec,
     };
     let _ = sub.tx.send(SessionEvent::Done(report.clone()));
     finish(inner, tenant, FinishOutcome::Completed(report));
 }
 
+/// Per-session fault accounting, accumulated across every partition's
+/// attempts and folded into service + tenant metrics whatever the
+/// session's outcome.
+#[derive(Default)]
+struct FaultAcc {
+    /// Failed execution attempts that were retried — bumps in lockstep
+    /// with the failing device's `DeviceStats::failures`, which is the
+    /// exactly-once accounting invariant the chaos tests reconcile.
+    retries: u64,
+    /// Retries that landed on a different device (reroutes).
+    failovers: u64,
+    /// Corrupted outputs caught and outvoted by the cross-check.
+    corruption_catches: u64,
+    /// Wall seconds executed on the emergency CPU fallback.
+    degraded_sec: f64,
+    /// Worst modelled device queue any partition joined behind.
+    device_queue_sec: f64,
+}
+
+/// One fault-tolerant partition execution: bounded retries with
+/// exponential backoff, rerouting away from the failing device, and the
+/// emergency CPU fallback when no pool device is available. Returns the
+/// executing device index (`pool.len()` for the fallback), its class, and
+/// the output.
+fn execute_resilient(
+    inner: &Inner,
+    policy: &FaultPolicy,
+    job: &PartitionJob,
+    ctx: &QueryCtx<'_>,
+    avoid: Option<usize>,
+    acc: &mut FaultAcc,
+) -> Result<(usize, BackendClass, BackendOutput), ServeError> {
+    let mut last_failed = avoid;
+    let mut rerouting = false;
+    for attempt in 1..=policy.max_attempts.max(1) {
+        let admitted = inner.devices.plock().admit_avoiding(job.workload, last_failed);
+        let (device, queued_sec, backend) = match admitted {
+            Ok(a) => a,
+            Err(_) => {
+                // No healthy or probationary device left. Degraded mode:
+                // the emergency CPU share answers (its wall is the
+                // degraded-mode cost), or the session sheds typed.
+                let Some(fallback) = inner.fallback.as_ref() else {
+                    return Err(ServeError::Degraded);
+                };
+                let t0 = Instant::now();
+                let out = fallback.execute(job, ctx).map_err(|e| {
+                    ServeError::Failed(format!("emergency CPU fallback failed: {e}"))
+                })?;
+                acc.degraded_sec += t0.elapsed().as_secs_f64();
+                let virtual_idx = inner.devices.plock().len();
+                return Ok((virtual_idx, fallback.spec().class, out));
+            }
+        };
+        if rerouting && Some(device) != last_failed {
+            acc.failovers += 1;
+        }
+        acc.device_queue_sec = acc.device_queue_sec.max(queued_sec);
+        // Execute outside the pool lock: concurrent sessions overlap on
+        // different devices.
+        match backend.execute(job, ctx) {
+            Ok(out) => {
+                inner
+                    .devices
+                    .plock()
+                    .complete(device, job.workload, out.modeled_sec, out.kernel_cycles);
+                return Ok((device, backend.spec().class, out));
+            }
+            Err(e) => {
+                inner
+                    .devices
+                    .plock()
+                    .fail(device, job.workload, e.is_permanent());
+                acc.retries += 1;
+                last_failed = Some(device);
+                rerouting = true;
+                if attempt == policy.max_attempts.max(1) {
+                    return Err(ServeError::Failed(format!(
+                        "partition {} failed after {attempt} attempts: {e}",
+                        job.index
+                    )));
+                }
+                // Exponential backoff, capped at 64× the base: models the
+                // driver's re-queue cost without wedging the worker.
+                let shift = (attempt - 1).min(6) as u32;
+                let backoff = policy.backoff * (1u32 << shift);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+    unreachable!("the attempt loop always returns")
+}
+
+/// Total executions the cross-check may spend per partition before giving
+/// up on agreement (first vote + up to three more).
+const CROSS_CHECK_MAX_VOTES: usize = 4;
+
+/// [`execute_resilient`] plus, when [`FaultPolicy::cross_check`] is on,
+/// re-execution on a second device until two executions agree on
+/// `(embeddings, collected)` — the embedding fingerprint. Disagreeing
+/// devices are marked suspect (their corruption counts toward
+/// quarantine). Results from the trusted CPU fallback skip the check, and
+/// when the vote budget runs out without agreement the fallback (if
+/// configured) arbitrates as ground truth.
+fn execute_checked(
+    inner: &Inner,
+    policy: &FaultPolicy,
+    job: &PartitionJob,
+    ctx: &QueryCtx<'_>,
+    acc: &mut FaultAcc,
+) -> Result<(usize, BackendClass, BackendOutput), ServeError> {
+    let first = execute_resilient(inner, policy, job, ctx, None, acc)?;
+    let fallback_idx = inner.devices.plock().len();
+    if !policy.cross_check || first.0 == fallback_idx {
+        return Ok(first);
+    }
+    let mut votes = vec![first];
+    loop {
+        let avoid = votes.last().map(|v| v.0);
+        let vote = execute_resilient(inner, policy, job, ctx, avoid, acc)?;
+        if vote.0 == fallback_idx {
+            // The fleet degraded mid-check: the fallback's answer is
+            // ground truth; every disagreeing earlier vote was corrupt.
+            for (d, _, o) in &votes {
+                if o.embeddings != vote.2.embeddings || o.collected != vote.2.collected {
+                    inner.devices.plock().mark_suspect(*d);
+                    acc.corruption_catches += 1;
+                }
+            }
+            return Ok(vote);
+        }
+        let agreed = votes
+            .iter()
+            .position(|(_, _, o)| {
+                o.embeddings == vote.2.embeddings && o.collected == vote.2.collected
+            });
+        if let Some(winner) = agreed {
+            // Two independent executions agree; corrupted outputs cannot
+            // collide (the injected XOR mask is nonzero and per-call), so
+            // every *other* vote was wrong — charge its device.
+            for (i, (d, _, _)) in votes.iter().enumerate() {
+                if i != winner {
+                    inner.devices.plock().mark_suspect(*d);
+                    acc.corruption_catches += 1;
+                }
+            }
+            return Ok(vote);
+        }
+        votes.push(vote);
+        if votes.len() >= CROSS_CHECK_MAX_VOTES {
+            // No two executions agree within the vote budget. Arbitrate on
+            // the trusted CPU fallback if there is one — its answer is
+            // ground truth, so the session still completes bit-exact even
+            // when most of the fleet lies; without a fallback the
+            // partition fails typed.
+            let Some(fallback) = inner.fallback.as_ref() else {
+                return Err(ServeError::Failed(format!(
+                    "partition {}: cross-check found no two agreeing executions in {} votes",
+                    job.index,
+                    votes.len()
+                )));
+            };
+            let truth = fallback.execute(job, ctx).map_err(|e| {
+                ServeError::Failed(format!("cross-check arbitration failed: {e}"))
+            })?;
+            for (d, _, o) in &votes {
+                if o.embeddings != truth.embeddings || o.collected != truth.collected {
+                    inner.devices.plock().mark_suspect(*d);
+                    acc.corruption_catches += 1;
+                }
+            }
+            return Ok((fallback_idx, fallback.spec().class, truth));
+        }
+    }
+}
+
+/// Folds a session's fault accounting into service + tenant metrics.
+fn fold_faults(inner: &Inner, tenant: &TenantState, acc: &FaultAcc) {
+    if acc.retries == 0 && acc.corruption_catches == 0 && acc.degraded_sec == 0.0 {
+        return;
+    }
+    let fold = |m: &mut MetricsState| {
+        m.retries += acc.retries;
+        m.failovers += acc.failovers;
+        m.corruption_catches += acc.corruption_catches;
+        m.degraded_sec += acc.degraded_sec;
+    };
+    fold(&mut inner.metrics.plock());
+    fold(&mut tenant.metrics.plock());
+}
+
 enum FinishOutcome {
     Completed(QueryReport),
     Failed,
+    DeadlineMiss,
 }
 
 /// Folds a session's outcome into the service-wide and tenant metrics.
@@ -1164,9 +1555,16 @@ fn finish(inner: &Inner, tenant: &TenantState, outcome: FinishOutcome) {
             m.failed += 1;
             m.last_done = Some(now);
         }
+        // A shed session is not a failure: it was dropped by policy, and
+        // the chaos accounting (`failed == 0` under recoverable schedules)
+        // must not conflate the two.
+        FinishOutcome::DeadlineMiss => {
+            m.deadline_misses += 1;
+            m.last_done = Some(now);
+        }
     };
-    fold(&mut inner.metrics.lock().expect("metrics"));
-    fold(&mut tenant.metrics.lock().expect("tenant metrics"));
+    fold(&mut inner.metrics.plock());
+    fold(&mut tenant.metrics.plock());
 }
 
 #[cfg(test)]
@@ -1190,6 +1588,7 @@ mod tests {
             plan_cache_bytes: None,
             cst_cache_bytes: 16 << 20,
             max_in_flight: 4,
+            ..ServeConfig::default()
         }
     }
 
@@ -1442,6 +1841,266 @@ mod tests {
         assert_eq!(a, b);
         let report = service.shutdown();
         assert!(report.max_in_flight <= 1);
+    }
+
+    #[test]
+    fn new_error_variants_display_and_compare() {
+        assert_eq!(ServeError::DeadlineExceeded, ServeError::DeadlineExceeded);
+        assert_eq!(ServeError::Degraded, ServeError::Degraded);
+        assert_ne!(ServeError::DeadlineExceeded, ServeError::Degraded);
+        let msg = ServeError::DeadlineExceeded.to_string();
+        assert!(msg.contains("deadline"), "{msg}");
+        let msg = ServeError::Degraded.to_string();
+        assert!(msg.contains("degraded"), "{msg}");
+        // They are std errors like the rest of the enum.
+        let e: &dyn std::error::Error = &ServeError::Degraded;
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn plock_recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "the mutex must actually be poisoned");
+        assert_eq!(*m.plock(), 7, "plock recovers the guarded value");
+    }
+
+    #[test]
+    fn zero_deadline_sheds_sessions_with_typed_error() {
+        let g = random_labelled_graph(60, 0.2, 2, 50);
+        let mut config = small_config();
+        config.deadline = Some(Duration::ZERO);
+        let service = FastService::new(g, config);
+        for _ in 0..3 {
+            let err = service.submit(triangle()).wait().unwrap_err();
+            assert_eq!(err, ServeError::DeadlineExceeded);
+        }
+        let report = service.shutdown();
+        assert_eq!(report.deadline_misses, 3);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 0, "shed by policy, not broken");
+        assert_eq!(report.tenants[0].deadline_misses, 3);
+        assert!(report.is_finite());
+    }
+
+    #[test]
+    fn tenant_deadline_overrides_service_default() {
+        let g = random_labelled_graph(60, 0.2, 2, 51);
+        let service = FastService::new(g.clone(), small_config());
+        let strict = service
+            .add_tenant(
+                g,
+                TenantConfig {
+                    deadline: Some(Duration::ZERO),
+                    ..TenantConfig::default()
+                },
+            )
+            .unwrap();
+        // Default tenant: no deadline, completes.
+        assert!(service.submit(triangle()).wait().is_ok());
+        // Strict tenant: shed.
+        let err = service.submit_for(strict, triangle()).unwrap().wait().unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        let slice = service.tenant_report(strict).unwrap();
+        assert_eq!(slice.deadline_misses, 1);
+        assert_eq!(service.tenant_report(TenantId::DEFAULT).unwrap().deadline_misses, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn always_failing_device_reroutes_with_exact_retry_accounting() {
+        let g = random_labelled_graph(60, 0.25, 2, 52);
+        let baseline = FastService::new(g.clone(), small_config());
+        let want = baseline.submit(triangle()).wait().unwrap().embeddings;
+        baseline.shutdown();
+
+        // Device 0 fails every call; device 1 is clean. Dispatch prefers
+        // index 0 on idle ties, so every partition's first attempt fails
+        // and reroutes — and after QUARANTINE_THRESHOLD failures device 0
+        // is quarantined outright.
+        let mut config = small_config();
+        config.devices = 0;
+        config.workers = 1;
+        config.extra_devices = vec![
+            DeviceKind::Faulty {
+                inner: Box::new(DeviceKind::Fpga(config.fast.spec.clone())),
+                plan: fast::FaultPlan::transient(9, 1.0),
+            },
+            DeviceKind::Fpga(config.fast.spec.clone()),
+        ];
+        let service = FastService::new(g, config);
+        let reports: Vec<QueryReport> = (0..6)
+            .map(|_| service.submit(triangle()).wait().unwrap())
+            .collect();
+        assert!(reports.iter().all(|r| r.embeddings == want), "bit-identical");
+        assert!(reports.iter().any(|r| r.retries > 0));
+        assert!(reports.iter().any(|r| r.failovers > 0));
+        let report = service.shutdown();
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.completed, 6);
+        let device_failures: u64 = report.devices.iter().map(|d| d.failures).sum();
+        assert_eq!(
+            report.retries, device_failures,
+            "every device failure is retried exactly once"
+        );
+        assert!(report.quarantines >= 1, "an always-failing device quarantines");
+        assert_eq!(report.devices[1].failures, 0, "the clean device never fails");
+        assert!(report.is_finite());
+    }
+
+    #[test]
+    fn dead_fleet_degrades_to_cpu_fallback() {
+        let g = random_labelled_graph(60, 0.25, 2, 53);
+        let baseline = FastService::new(g.clone(), small_config());
+        let want = baseline.submit(triangle()).wait().unwrap().embeddings;
+        baseline.shutdown();
+
+        let mut config = small_config();
+        config.devices = 0;
+        config.workers = 1;
+        config.extra_devices = vec![DeviceKind::Faulty {
+            inner: Box::new(DeviceKind::Fpga(config.fast.spec.clone())),
+            plan: fast::FaultPlan::dies_at(5, 0),
+        }];
+        let service = FastService::new(g, config);
+        let reports: Vec<QueryReport> = (0..3)
+            .map(|_| service.submit(triangle()).wait().unwrap())
+            .collect();
+        assert!(
+            reports.iter().all(|r| r.embeddings == want),
+            "the CPU fallback is bit-identical to the healthy fleet"
+        );
+        assert!(reports.iter().any(|r| r.degraded_sec > 0.0));
+        let report = service.shutdown();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.failed, 0);
+        assert!(report.degraded_sec > 0.0, "degraded-mode wall is accounted");
+        assert_eq!(report.devices[0].health, crate::devices::HealthState::Evicted);
+        assert_eq!(
+            report.retries,
+            report.devices.iter().map(|d| d.failures).sum::<u64>()
+        );
+        assert!(report.is_finite());
+    }
+
+    #[test]
+    fn dead_fleet_without_fallback_sheds_with_degraded_error() {
+        let g = random_labelled_graph(60, 0.25, 2, 54);
+        let mut config = small_config();
+        config.devices = 0;
+        config.workers = 1;
+        config.fault.cpu_fallback = false;
+        config.extra_devices = vec![DeviceKind::Faulty {
+            inner: Box::new(DeviceKind::Fpga(config.fast.spec.clone())),
+            plan: fast::FaultPlan::dies_at(5, 0),
+        }];
+        let service = FastService::new(g, config);
+        let err = service.submit(triangle()).wait().unwrap_err();
+        assert_eq!(err, ServeError::Degraded, "typed shed, no hang");
+        let report = service.shutdown();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.completed, 0);
+        assert!(report.is_finite());
+    }
+
+    #[test]
+    fn cross_check_outvotes_corruption_and_quarantines_the_liar() {
+        let g = random_labelled_graph(60, 0.25, 2, 55);
+        let baseline = FastService::new(g.clone(), small_config());
+        let want = baseline.submit(triangle()).wait().unwrap().embeddings;
+        baseline.shutdown();
+
+        // Device 0 silently corrupts every output; devices 1 and 2 are
+        // honest. Without cross-checking the corrupted counts would be
+        // accepted as Ok.
+        let mut config = small_config();
+        config.devices = 0;
+        config.workers = 1;
+        config.fault.cross_check = true;
+        config.extra_devices = vec![
+            DeviceKind::Faulty {
+                inner: Box::new(DeviceKind::Fpga(config.fast.spec.clone())),
+                plan: fast::FaultPlan {
+                    seed: 11,
+                    corrupt_rate: 1.0,
+                    ..fast::FaultPlan::default()
+                },
+            },
+            DeviceKind::Fpga(config.fast.spec.clone()),
+            DeviceKind::Fpga(config.fast.spec.clone()),
+        ];
+        let service = FastService::new(g, config);
+        let reports: Vec<QueryReport> = (0..6)
+            .map(|_| service.submit(triangle()).wait().unwrap())
+            .collect();
+        assert!(
+            reports.iter().all(|r| r.embeddings == want),
+            "every accepted count is the honest one"
+        );
+        assert!(reports.iter().any(|r| r.corruption_catches > 0));
+        let report = service.shutdown();
+        assert_eq!(report.failed, 0);
+        assert!(report.corruption_catches > 0);
+        assert!(report.devices[0].corruptions > 0, "the liar is charged");
+        assert_eq!(report.devices[1].corruptions, 0);
+        assert_eq!(report.devices[2].corruptions, 0);
+        assert!(
+            report.quarantines >= 1,
+            "repeated corruption quarantines the device"
+        );
+        assert!(report.is_finite());
+    }
+
+    #[test]
+    fn injected_panic_fails_its_own_session_only() {
+        let g = random_labelled_graph(60, 0.25, 2, 56);
+        let baseline = FastService::new(g.clone(), small_config());
+        let want = baseline.submit(triangle()).wait().unwrap().embeddings;
+        baseline.shutdown();
+
+        // Device 1 panics on every call (an injected driver bug). Sessions
+        // routed to it die mid-worker; the panic must stay contained —
+        // their handles see Disconnected, everyone else keeps serving.
+        let mut config = small_config();
+        config.devices = 1;
+        config.workers = 2;
+        config.extra_devices = vec![DeviceKind::Faulty {
+            inner: Box::new(DeviceKind::Fpga(config.fast.spec.clone())),
+            plan: fast::FaultPlan {
+                seed: 13,
+                panic_after: Some(0),
+                ..fast::FaultPlan::default()
+            },
+        }];
+        let service = FastService::new(g, config);
+        let handles: Vec<SessionHandle> =
+            (0..8).map(|_| service.submit(triangle())).collect();
+        let mut ok = 0u64;
+        let mut dead = 0u64;
+        for h in handles {
+            match h.wait() {
+                Ok(r) => {
+                    assert_eq!(r.embeddings, want);
+                    ok += 1;
+                }
+                Err(ServeError::Disconnected) => dead += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(ok + dead, 8);
+        // The service still serves after the panics — the proof the
+        // poison-tolerant locks and drop guards contain the blast radius.
+        let after = service.submit(triangle()).wait().unwrap();
+        assert_eq!(after.embeddings, want);
+        let report = service.shutdown();
+        assert_eq!(report.completed, ok + 1);
+        assert_eq!(report.failed, dead);
+        assert!(report.is_finite());
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct TenantConfig {
     /// [`ServeConfig::cst_cache_bytes`](crate::ServeConfig::cst_cache_bytes),
     /// `Some(0)` disables tier 2 for this tenant alone.
     pub cst_cache_bytes: Option<usize>,
+    /// Per-session deadline for this tenant, measured from submission: a
+    /// session still queued or executing past it is shed with
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded).
+    /// `None` inherits [`ServeConfig::deadline`](crate::ServeConfig::deadline).
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for TenantConfig {
@@ -73,6 +78,7 @@ impl Default for TenantConfig {
             epoch: INITIAL_GRAPH_EPOCH,
             cache_capacity: None,
             cst_cache_bytes: None,
+            deadline: None,
         }
     }
 }

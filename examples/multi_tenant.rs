@@ -40,6 +40,7 @@ fn main() {
             plan_cache_bytes: None,
             cst_cache_bytes: ServeConfig::default().cst_cache_bytes,
             max_in_flight: 16,
+            ..ServeConfig::default()
         },
     );
     let tenant_b = service

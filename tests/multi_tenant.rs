@@ -19,6 +19,7 @@ fn config(workers: usize, max_in_flight: usize) -> ServeConfig {
         plan_cache_bytes: None,
         cst_cache_bytes: 16 << 20,
         max_in_flight,
+        ..ServeConfig::default()
     }
 }
 

@@ -26,6 +26,7 @@ fn config(planner: ShardPlanner, devices: usize, extra: Vec<DeviceKind>) -> Serv
         plan_cache_bytes: None,
         cst_cache_bytes: 16 << 20,
         max_in_flight: 8,
+        ..ServeConfig::default()
     }
 }
 

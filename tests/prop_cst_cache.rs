@@ -225,6 +225,7 @@ fn config(workers: usize, cst_bytes: usize) -> ServeConfig {
         plan_cache_bytes: None,
         cst_cache_bytes: cst_bytes,
         max_in_flight: 8,
+        ..ServeConfig::default()
     }
 }
 

@@ -52,6 +52,7 @@ fn service_config(
         plan_cache_bytes: None,
         cst_cache_bytes: cst_bytes,
         max_in_flight: 8,
+        ..ServeConfig::default()
     }
 }
 
