@@ -6,6 +6,7 @@
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
 //!        | hostscale | shardplan | serving | tenants | cstcache | chaos | snapshot
+//!        | obsfig
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -28,7 +29,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants cstcache chaos snapshot"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants cstcache chaos snapshot obsfig"
                 );
                 std::process::exit(0);
             }
@@ -198,6 +199,16 @@ fn main() {
         };
         let rows = chaos::run(&mut cache, d, clients, requests);
         println!("{}", chaos::render(d, &rows));
+    }
+    if wants("obsfig") {
+        // Observability sweep: traced cold/warm serving with stage
+        // decomposition from the spans, self-asserting a valid monotonic
+        // Chrome trace, session ⊇ build ⊇ execute nesting, and < 2%
+        // obs-on overhead on the best interleaved off/on pair. DG03 even
+        // in quick mode — the overhead claim needs real work to amortise.
+        let (clients, requests): (usize, usize) = if opts.quick { (2, 10) } else { (4, 16) };
+        let out = obsfig::run(&mut cache, DatasetId::Dg03, clients, requests);
+        println!("{}", obsfig::render(DatasetId::Dg03, &out));
     }
     if wants("snapshot") {
         // Binary CSR snapshot round-trip: load-vs-build wall per dataset.

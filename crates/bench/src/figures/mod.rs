@@ -15,6 +15,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod host_scaling;
 pub mod multi_tenant;
+pub mod obsfig;
 pub mod serving;
 pub mod shard_planning;
 pub mod snapshot;

@@ -300,6 +300,8 @@ fn build_shard(
     input: ShardInput,
     shard: usize,
 ) -> ShardCst {
+    let mut span = obs::span_cat("build_shard", "build");
+    span.arg_u64("shard", shard as u64);
     let t0 = Instant::now();
     let (seeded, cached, root_count, cst, stats) = match input {
         ShardInput::Roots(chunk) => {
@@ -325,6 +327,9 @@ fn build_shard(
     // part of Algorithm 1, and must not inflate the measured build time.
     let build_time = t0.elapsed();
     let workload = estimate_workload(&cst, tree).total;
+    span.arg_u64("roots", root_count as u64);
+    span.arg_u64("seeded", seeded as u64);
+    span.arg_u64("cached", cached as u64);
     ShardCst {
         report: ShardReport {
             shard,

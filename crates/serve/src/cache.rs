@@ -65,6 +65,19 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.rejected += other.rejected;
     }
+
+    /// Counters accumulated since `base` was captured — the rolling-window
+    /// delta. Every field is monotone, so the subtraction is exact;
+    /// `saturating_sub` guards against a mismatched base.
+    pub fn delta(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            insertions: self.insertions.saturating_sub(base.insertions),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            rejected: self.rejected.saturating_sub(base.rejected),
+        }
+    }
 }
 
 struct Entry<V> {

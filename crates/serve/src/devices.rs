@@ -148,6 +148,25 @@ impl DeviceStats {
             health: HealthState::Healthy,
         }
     }
+
+    /// Counters accumulated since `base` was captured — the rolling-window
+    /// delta. Monotone counters subtract (exactly, on the integer fields);
+    /// `outstanding_workload` and `health` are point-in-time and carried
+    /// over from the current snapshot.
+    pub fn delta(&self, base: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            class: self.class,
+            outstanding_workload: self.outstanding_workload,
+            total_workload: (self.total_workload - base.total_workload).max(0.0),
+            partitions: self.partitions.saturating_sub(base.partitions),
+            cycles: self.cycles.saturating_sub(base.cycles),
+            busy_sec: (self.busy_sec - base.busy_sec).max(0.0),
+            failures: self.failures.saturating_sub(base.failures),
+            corruptions: self.corruptions.saturating_sub(base.corruptions),
+            quarantines: self.quarantines.saturating_sub(base.quarantines),
+            health: self.health,
+        }
+    }
 }
 
 struct Device {
@@ -312,9 +331,15 @@ impl DevicePool {
     ) -> Result<(usize, f64, Arc<dyn ExecutionBackend>), ServeError> {
         self.tick += 1;
         // Expired quarantines re-admit on probation.
-        for d in &mut self.devices {
+        for (i, d) in self.devices.iter_mut().enumerate() {
             if d.stats.health == HealthState::Quarantined && self.tick >= d.quarantined_until {
                 d.stats.health = HealthState::Probation;
+                obs::event_on(
+                    obs::device_track(i),
+                    "probation",
+                    "health",
+                    vec![("device", obs::ArgValue::U64(i as u64))],
+                );
             }
         }
         let pick = |pool: &Self, skip: Option<usize>| {
@@ -354,6 +379,12 @@ impl DevicePool {
         d.consecutive_failures = 0;
         if d.stats.health == HealthState::Probation {
             d.stats.health = HealthState::Healthy;
+            obs::event_on(
+                obs::device_track(device),
+                "recovered",
+                "health",
+                vec![("device", obs::ArgValue::U64(device as u64))],
+            );
         }
     }
 
@@ -383,6 +414,15 @@ impl DevicePool {
         let d = &mut self.devices[device];
         d.stats.corruptions += 1;
         d.suspect_strikes += 1;
+        obs::event_on(
+            obs::device_track(device),
+            "corruption_strike",
+            "health",
+            vec![
+                ("device", obs::ArgValue::U64(device as u64)),
+                ("strikes", obs::ArgValue::U64(d.suspect_strikes as u64)),
+            ],
+        );
         let quarantine = match d.stats.health {
             // One strike on probation: straight back to quarantine.
             HealthState::Probation => true,
@@ -399,6 +439,17 @@ impl DevicePool {
         d.consecutive_failures += 1;
         if permanent {
             d.stats.health = HealthState::Evicted;
+            obs::counter(
+                "obs_device_evictions_total",
+                "Devices permanently evicted from the pool",
+            )
+            .inc();
+            obs::event_on(
+                obs::device_track(device),
+                "evicted",
+                "health",
+                vec![("device", obs::ArgValue::U64(device as u64))],
+            );
             return;
         }
         let quarantine = match d.stats.health {
@@ -424,6 +475,17 @@ impl DevicePool {
         d.penalty_shift = (d.penalty_shift + 1).min(QUARANTINE_MAX_SHIFT);
         d.consecutive_failures = 0;
         d.suspect_strikes = 0;
+        obs::counter("obs_quarantines_total", "Device quarantine entries").inc();
+        obs::event_on(
+            obs::device_track(device),
+            "quarantine",
+            "health",
+            vec![
+                ("device", obs::ArgValue::U64(device as u64)),
+                ("entries", obs::ArgValue::U64(d.stats.quarantines)),
+                ("until_tick", obs::ArgValue::U64(d.quarantined_until)),
+            ],
+        );
     }
 
     /// Per-device counters.

@@ -46,7 +46,22 @@
 //!   quarantined fleet degrades to an emergency CPU share;
 //! * [`metrics`] — per-query, per-tenant, and service-level metrics
 //!   ([`ServeReport`], [`TenantSummary`]): sustained QPS, queue wait,
-//!   p50/p99 latency, cache hit rate, per-device utilisation.
+//!   p50/p99 latency, cache hit rate, per-device utilisation. Latency
+//!   distributions are streaming [`obs::Histogram`]s, so
+//!   [`FastService::report_window`] serves rolling-window deltas whose
+//!   integer counters reconcile bit-exactly against the lifetime report,
+//!   and [`FastService::prometheus_text`] renders a text exposition.
+//!
+//! # Observability
+//!
+//! The serving path is instrumented through the [`obs`] crate: per-session
+//! trace spans (`session ⊇ build ⊇ execute`, plus `queue_wait`/`plan`),
+//! instant events for faults (`retry`, `failover`, `deadline_shed`,
+//! `degraded`) and device health transitions (`quarantine`, `probation`,
+//! `recovered`, `evicted`, `corruption_strike`), and registry counters
+//! mirroring the report fields. Tracing is off unless [`obs::enable`] is
+//! called; when off, every hook is a single relaxed atomic load. See
+//! DESIGN.md §10 and `examples/observability.rs`.
 //!
 //! # Determinism
 //!
@@ -92,7 +107,7 @@ pub use cache::{CacheBudget, CacheStats, CstCache, PlanCache, SizedCache};
 pub use devices::{
     DeviceKind, DevicePool, DeviceStats, HealthState, QUARANTINE_BASE_TICKS, QUARANTINE_THRESHOLD,
 };
-pub use metrics::{ServeReport, TenantSummary};
+pub use metrics::{ServeReport, TenantSummary, WindowInfo};
 pub use service::{
     FastService, FaultPolicy, PartitionUpdate, QueryReport, ServeConfig, ServeError, SessionEvent,
     SessionHandle,

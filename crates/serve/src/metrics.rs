@@ -1,9 +1,17 @@
-//! Service-level metrics: the [`ServeReport`] and its per-tenant
-//! [`TenantSummary`] slices.
+//! Service-level metrics: the [`ServeReport`], its per-tenant
+//! [`TenantSummary`] slices, and the Prometheus text rendering.
+//!
+//! Latency-shaped sample sets are held as streaming log-bucketed
+//! [`obs::Histogram`]s rather than raw sample vectors: constant memory
+//! regardless of session count, exact mergeable counters (so rolling
+//! windows are true deltas of the lifetime state), and nearest-rank
+//! quantiles read straight from the bucket counts — one pass per
+//! report instead of one sort per percentile call.
 
 use crate::cache::CacheStats;
 use crate::devices::DeviceStats;
 use crate::tenant::TenantId;
+use obs::Histogram;
 
 /// Nearest-rank percentile of an already **sorted** slice (`q` in
 /// `[0, 1]`); 0.0 for an empty slice.
@@ -18,26 +26,43 @@ fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
 
 /// Nearest-rank percentile of `samples` (any order; `q` in `[0, 1]`).
 /// Returns 0.0 for an empty slice. Sorts a copy — when several quantiles
-/// of the same set are needed, sort once and use the aggregate path.
+/// of the same set are needed, sort once and call [`percentile_sorted`],
+/// or better, stream the samples into an [`obs::Histogram`] as the
+/// report assembly path does.
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
     nearest_rank(&sorted, q)
 }
 
-fn mean(samples: &[f64]) -> f64 {
-    if samples.is_empty() {
-        0.0
-    } else {
-        samples.iter().sum::<f64>() / samples.len() as f64
-    }
+/// Nearest-rank percentile of an already **sorted** slice — the
+/// sort-once path for call sites that need several quantiles of the
+/// same sample set.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    nearest_rank(sorted, q)
 }
 
-/// Aggregate view of a service's lifetime (or a window of it): produced by
-/// [`FastService::report`](crate::FastService::report) and
+/// Identifies a rolling-window report (see
+/// [`FastService::report_window`](crate::FastService::report_window)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowInfo {
+    /// Window sequence number: 0 for the first window after service
+    /// start, incrementing on every `report_window` call.
+    pub seq: u64,
+    /// Wall seconds the window spans (previous `report_window` call —
+    /// or service start — to this one).
+    pub wall_sec: f64,
+}
+
+/// Aggregate view of a service's lifetime (or a rolling window of it):
+/// produced by [`FastService::report`](crate::FastService::report),
+/// [`FastService::report_window`](crate::FastService::report_window) and
 /// [`FastService::shutdown`](crate::FastService::shutdown).
 #[derive(Debug, Clone, Default)]
 pub struct ServeReport {
+    /// `None` for a lifetime report; window identity for a delta report.
+    pub window: Option<WindowInfo>,
     /// Sessions admitted.
     pub submitted: u64,
     /// Sessions completed successfully.
@@ -77,25 +102,37 @@ pub struct ServeReport {
     /// report time — always ≤ the sum of configured byte budgets.
     pub cst_resident_bytes: usize,
     /// Sustained throughput: completed sessions per second of serving wall
-    /// time (first submission → last completion).
+    /// time (first submission → last completion; for a window report, the
+    /// window wall).
     pub qps: f64,
     /// Serving wall time the QPS is normalised by.
     pub wall_sec: f64,
-    /// Session latency percentiles/mean (seconds): measured submit→done
-    /// wall **plus** each session's modelled device queueing delay
+    /// Session latency distribution (seconds): measured submit→done wall
+    /// **plus** each session's modelled device queueing delay
     /// (`QueryReport::device_queue_sec`) — device-faithful at high
     /// concurrency, where the inline emulated kernels hide the contention
-    /// on the modelled cards.
+    /// on the modelled cards. Bucket counts are exact and mergeable;
+    /// quantiles below read from it (bucket-midpoint representatives,
+    /// ≤ ~6% relative error by construction).
+    pub latency_hist: Histogram,
+    /// Admission-queue wait distribution (seconds): submit → worker pickup.
+    pub queue_wait_hist: Histogram,
+    /// Modelled device queueing delay distribution (seconds): per session,
+    /// the worst outstanding booked work its partitions joined behind at
+    /// admission (`DevicePool::admit`). The component of the latency
+    /// distribution above that the host wall cannot see.
+    pub device_queue_hist: Histogram,
+    /// Session latency quantiles/mean (seconds), read from
+    /// [`latency_hist`](Self::latency_hist).
     pub latency_p50: f64,
     pub latency_p99: f64,
     pub latency_mean: f64,
-    /// Admission-queue wait percentiles (seconds): submit → worker pickup.
+    /// Admission-queue wait quantiles (seconds), read from
+    /// [`queue_wait_hist`](Self::queue_wait_hist).
     pub queue_wait_p50: f64,
     pub queue_wait_p99: f64,
-    /// Modelled device queueing delay percentiles/mean (seconds): per
-    /// session, the worst outstanding booked work its partitions joined
-    /// behind at admission (`DevicePool::admit`). The component of the
-    /// latency percentiles above that the host wall cannot see.
+    /// Device queueing delay quantiles/mean (seconds), read from
+    /// [`device_queue_hist`](Self::device_queue_hist).
     pub device_queue_p50: f64,
     pub device_queue_p99: f64,
     pub device_queue_mean: f64,
@@ -110,6 +147,8 @@ pub struct ServeReport {
     pub build_hit_mean_sec: f64,
     pub build_miss_mean_sec: f64,
     /// Per-device counters (partitions, modelled cycles, booked workload).
+    /// In a window report the monotone counters are deltas over the
+    /// window; `outstanding_workload` and `health` are point-in-time.
     pub devices: Vec<DeviceStats>,
     /// The busiest device's modelled execution seconds.
     pub device_makespan_sec: f64,
@@ -117,9 +156,11 @@ pub struct ServeReport {
     pub device_busy_sec: f64,
     /// Max/mean booked workload across devices (1.0 = perfectly balanced).
     pub device_imbalance: f64,
-    /// High-water mark of concurrently admitted sessions.
+    /// High-water mark of concurrently admitted sessions (lifetime, even
+    /// in window reports).
     pub max_in_flight: usize,
     /// Per-tenant slices, ordered by tenant id (the default tenant first).
+    /// Empty in window reports — windows slice time, not tenants.
     pub tenants: Vec<TenantSummary>,
 }
 
@@ -153,8 +194,8 @@ pub struct TenantSummary {
     /// Completed sessions per second of the tenant's serving wall (its own
     /// first submission → its own last completion).
     pub qps: f64,
-    /// Tenant latency percentiles (seconds), same definition as the
-    /// service-wide ones.
+    /// Tenant latency quantiles (seconds), same definition as the
+    /// service-wide ones (histogram nearest-rank, no per-report sort).
     pub latency_p50: f64,
     pub latency_p99: f64,
     /// Hit rate of the tenant's plan-cache partition.
@@ -166,40 +207,36 @@ pub struct TenantSummary {
 }
 
 impl ServeReport {
-    /// Builds the latency/queue aggregates from raw samples. All inputs
-    /// are per-session seconds.
+    /// Builds the latency/queue aggregates from the streaming
+    /// histograms. All inputs are per-session seconds; the three
+    /// latency-shaped histograms are kept on the report so window
+    /// deltas and exports can reuse the exact bucket counts.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn aggregate(
         &mut self,
-        latencies: &[f64],
-        queue_waits: &[f64],
-        device_queues: &[f64],
-        plan_hits: &[f64],
-        plan_misses: &[f64],
-        build_hits: &[f64],
-        build_misses: &[f64],
+        latencies: &Histogram,
+        queue_waits: &Histogram,
+        device_queues: &Histogram,
+        plan_hits: &Histogram,
+        plan_misses: &Histogram,
+        build_hits: &Histogram,
+        build_misses: &Histogram,
     ) {
-        // One sort per sample set, both quantiles read from it.
-        let mut sorted = latencies.to_vec();
-        sorted.sort_by(f64::total_cmp);
-        self.latency_p50 = nearest_rank(&sorted, 0.50);
-        self.latency_p99 = nearest_rank(&sorted, 0.99);
-        self.latency_mean = mean(latencies);
-        sorted.clear();
-        sorted.extend_from_slice(queue_waits);
-        sorted.sort_by(f64::total_cmp);
-        self.queue_wait_p50 = nearest_rank(&sorted, 0.50);
-        self.queue_wait_p99 = nearest_rank(&sorted, 0.99);
-        sorted.clear();
-        sorted.extend_from_slice(device_queues);
-        sorted.sort_by(f64::total_cmp);
-        self.device_queue_p50 = nearest_rank(&sorted, 0.50);
-        self.device_queue_p99 = nearest_rank(&sorted, 0.99);
-        self.device_queue_mean = mean(device_queues);
-        self.plan_hit_mean_sec = mean(plan_hits);
-        self.plan_miss_mean_sec = mean(plan_misses);
-        self.build_hit_mean_sec = mean(build_hits);
-        self.build_miss_mean_sec = mean(build_misses);
+        self.latency_p50 = latencies.quantile(0.50);
+        self.latency_p99 = latencies.quantile(0.99);
+        self.latency_mean = latencies.mean();
+        self.queue_wait_p50 = queue_waits.quantile(0.50);
+        self.queue_wait_p99 = queue_waits.quantile(0.99);
+        self.device_queue_p50 = device_queues.quantile(0.50);
+        self.device_queue_p99 = device_queues.quantile(0.99);
+        self.device_queue_mean = device_queues.mean();
+        self.plan_hit_mean_sec = plan_hits.mean();
+        self.plan_miss_mean_sec = plan_misses.mean();
+        self.build_hit_mean_sec = build_hits.mean();
+        self.build_miss_mean_sec = build_misses.mean();
+        self.latency_hist = latencies.clone();
+        self.queue_wait_hist = queue_waits.clone();
+        self.device_queue_hist = device_queues.clone();
     }
 
     /// Whether every derived rate/percentile field is finite — the
@@ -227,9 +264,116 @@ impl ServeReport {
             self.degraded_sec,
             self.cache.hit_rate(),
             self.cst_cache.hit_rate(),
+            self.latency_hist.mean(),
+            self.latency_hist.sum(),
+            self.queue_wait_hist.mean(),
+            self.queue_wait_hist.sum(),
+            self.device_queue_hist.mean(),
+            self.device_queue_hist.sum(),
+            self.window.map_or(0.0, |w| w.wall_sec),
         ]
         .iter()
         .all(|v| v.is_finite())
+    }
+
+    /// Renders the report as Prometheus text exposition lines
+    /// (`serve_*` metrics plus a cumulative latency histogram). The
+    /// service-level exposition
+    /// ([`FastService::prometheus_text`](crate::FastService::prometheus_text))
+    /// prepends the global `obs` registry to this.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut c = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        c("serve_sessions_submitted_total", "Sessions admitted", self.submitted);
+        c("serve_sessions_completed_total", "Sessions completed", self.completed);
+        c("serve_sessions_failed_total", "Sessions failed", self.failed);
+        c(
+            "serve_deadline_misses_total",
+            "Sessions shed past their deadline",
+            self.deadline_misses,
+        );
+        c("serve_retries_total", "Failed attempts retried", self.retries);
+        c(
+            "serve_failovers_total",
+            "Retries rerouted to a different device",
+            self.failovers,
+        );
+        c(
+            "serve_quarantines_total",
+            "Device quarantine entries",
+            self.quarantines,
+        );
+        c(
+            "serve_corruption_catches_total",
+            "Corrupted outputs outvoted by the cross-check",
+            self.corruption_catches,
+        );
+        c(
+            "serve_embeddings_total",
+            "Embeddings across completed sessions",
+            self.total_embeddings,
+        );
+        c("serve_plan_cache_hits_total", "Tier-1 plan cache hits", self.cache.hits);
+        c(
+            "serve_plan_cache_misses_total",
+            "Tier-1 plan cache misses",
+            self.cache.misses,
+        );
+        c(
+            "serve_cst_cache_hits_total",
+            "Tier-2 shard-CST cache hits",
+            self.cst_cache.hits,
+        );
+        c(
+            "serve_cst_cache_misses_total",
+            "Tier-2 shard-CST cache misses",
+            self.cst_cache.misses,
+        );
+        let mut g = |name: &str, help: &str, v: f64| {
+            let v = if v.is_finite() { v } else { 0.0 };
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        g("serve_qps", "Completed sessions per second of serving wall", self.qps);
+        g(
+            "serve_degraded_seconds",
+            "Wall seconds on the CPU fallback",
+            self.degraded_sec,
+        );
+        g(
+            "serve_cst_resident_bytes",
+            "Resident tier-2 payload bytes",
+            self.cst_resident_bytes as f64,
+        );
+        g(
+            "serve_max_in_flight",
+            "High-water mark of concurrent sessions",
+            self.max_in_flight as f64,
+        );
+        // Cumulative Prometheus histogram of session latency.
+        let name = "serve_latency_seconds";
+        out.push_str(&format!(
+            "# HELP {name} Session latency (submit to done plus modelled device queueing)\n\
+             # TYPE {name} histogram\n"
+        ));
+        for (le, cum) in self.latency_hist.cumulative() {
+            let le = if le.is_finite() {
+                format!("{le}")
+            } else {
+                "+Inf".to_string()
+            };
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        let sum = self.latency_hist.sum();
+        let sum = if sum.is_finite() { sum } else { 0.0 };
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_count {}\n", self.latency_hist.count()));
+        out
     }
 }
 
@@ -247,38 +391,79 @@ mod tests {
         assert_eq!(percentile(&[], 0.5), 0.0);
         // Unsorted input is handled.
         assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), 2.0);
+        // The sort-once path agrees on sorted input.
+        assert_eq!(percentile_sorted(&v, 0.99), 99.0);
+    }
+
+    fn hist_of(samples: &[f64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
     }
 
     #[test]
     fn aggregate_fills_fields() {
         let mut r = ServeReport::default();
         r.aggregate(
-            &[1.0, 2.0, 3.0],
-            &[0.5],
-            &[0.1, 0.3],
-            &[0.0, 0.0],
-            &[1.0],
-            &[0.0],
-            &[2.0, 4.0],
+            &hist_of(&[1.0, 2.0, 3.0]),
+            &hist_of(&[0.5]),
+            &hist_of(&[0.1, 0.3]),
+            &hist_of(&[0.0, 0.0]),
+            &hist_of(&[1.0]),
+            &hist_of(&[0.0]),
+            &hist_of(&[2.0, 4.0]),
         );
-        assert_eq!(r.latency_p50, 2.0);
-        assert_eq!(r.latency_mean, 2.0);
-        assert_eq!(r.queue_wait_p99, 0.5);
-        assert_eq!(r.device_queue_p99, 0.3);
+        // Histogram quantiles are bucket-midpoint representatives:
+        // assert within the documented ~6% relative error.
+        let close = |got: f64, want: f64| (got - want).abs() <= 0.07 * want.max(1e-9);
+        assert!(close(r.latency_p50, 2.0), "p50 {}", r.latency_p50);
+        assert!((r.latency_mean - 2.0).abs() < 1e-12);
+        assert!(close(r.queue_wait_p99, 0.5), "qw p99 {}", r.queue_wait_p99);
+        assert!(close(r.device_queue_p99, 0.3), "dq p99 {}", r.device_queue_p99);
         assert!((r.device_queue_mean - 0.2).abs() < 1e-12);
         assert_eq!(r.plan_hit_mean_sec, 0.0);
         assert_eq!(r.plan_miss_mean_sec, 1.0);
         assert_eq!(r.build_hit_mean_sec, 0.0);
         assert_eq!(r.build_miss_mean_sec, 3.0);
+        assert_eq!(r.latency_hist.count(), 3);
         assert!(r.is_finite());
     }
 
     #[test]
     fn empty_aggregate_is_finite() {
         let mut r = ServeReport::default();
-        r.aggregate(&[], &[], &[], &[], &[], &[], &[]);
+        let e = Histogram::new();
+        r.aggregate(&e, &e, &e, &e, &e, &e, &e);
         assert!(r.is_finite());
         assert_eq!(r.latency_p99, 0.0);
         assert_eq!(r.device_queue_p50, 0.0);
+        r.window = Some(WindowInfo { seq: 3, wall_sec: 0.0 });
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_histogram() {
+        let mut r = ServeReport {
+            submitted: 5,
+            completed: 4,
+            qps: 12.5,
+            ..ServeReport::default()
+        };
+        let h = hist_of(&[0.001, 0.002, 0.004]);
+        r.aggregate(&h, &h, &h, &h, &h, &h, &h);
+        let text = r.prometheus_text();
+        assert!(text.contains("serve_sessions_submitted_total 5"));
+        assert!(text.contains("# TYPE serve_latency_seconds histogram"));
+        assert!(text.contains("serve_latency_seconds_count 3"));
+        assert!(text.contains("le=\"+Inf\""));
+        // Every line is a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
     }
 }

@@ -8,3 +8,5 @@ pub use fpga_sim;
 pub use graph_core;
 pub use join_baselines;
 pub use matching;
+pub use obs;
+pub use serve;
