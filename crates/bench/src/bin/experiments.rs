@@ -5,8 +5,8 @@
 //!
 //! targets: all (default) | table3 | fig7 | fig8 | fig9 | fig10 | fig11
 //!        | fig12 | fig13 | fig14 | fig15 | fig16 | fig17 | ablation
-//!        | hostscale | shardplan | serving | tenants | cstcache | chaos | snapshot
-//!        | obsfig
+//!        | hostscale | shardplan | serving | sessions | tenants | cstcache | chaos
+//!        | snapshot | obsfig
 //! --quick: restrict to the smaller datasets (CI-friendly).
 //! ```
 
@@ -29,7 +29,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [targets...] [--quick]\n\
-                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving tenants cstcache chaos snapshot obsfig"
+                     targets: all table3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 ablation hostscale shardplan serving sessions tenants cstcache chaos snapshot obsfig"
                 );
                 std::process::exit(0);
             }
@@ -163,6 +163,15 @@ fn main() {
         };
         let rows = serving::run(&mut cache, d, levels, requests);
         println!("{}", serving::render(d, &rows));
+    }
+    if wants("sessions") {
+        // Session-scalability sweep: 64 / 1k / 10k outstanding sessions on
+        // 2 executor threads, event-driven vs thread-per-session, with the
+        // acceptance bar (oracle-identical counts, QPS within 5% at 64,
+        // strictly better at 10k, bounded peak-RSS growth) asserted inside
+        // the run.
+        let rows = sessions::run(opts.quick);
+        println!("{}", sessions::render(&rows));
     }
     if wants("tenants") {
         // Mixed-tenant sweep: fleet composition × cache mode under a 1:3

@@ -17,6 +17,7 @@ pub mod host_scaling;
 pub mod multi_tenant;
 pub mod obsfig;
 pub mod serving;
+pub mod sessions;
 pub mod shard_planning;
 pub mod snapshot;
 pub mod table3;

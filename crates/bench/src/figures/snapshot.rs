@@ -2,9 +2,15 @@
 //! buys at tenant-load time. For each dataset on the ladder, the graph is
 //! generated once (the "build" a restart would otherwise repeat), saved,
 //! loaded back, and fingerprint-checked; the table compares generator wall
-//! to snapshot load wall and reports the on-disk size.
+//! to snapshot load wall — for both the copying reader and the zero-copy
+//! `mmap` path (eager and lazy checksum) — and reports the on-disk size
+//! plus how many CSR bytes the mapped load actually copied (0 on the
+//! mapping fast path).
 
-use graph_core::{graph_fingerprint, load_snapshot, save_snapshot, DatasetId};
+use graph_core::{
+    graph_fingerprint, load_snapshot, load_snapshot_mapped, save_snapshot, DatasetId,
+    SnapshotVerify,
+};
 use std::time::{Duration, Instant};
 
 /// One dataset's round-trip measurements.
@@ -16,7 +22,16 @@ pub struct Row {
     /// Wall time of the generator build (what the snapshot path skips).
     pub build: Duration,
     pub save: Duration,
+    /// Copying-reader load wall.
     pub load: Duration,
+    /// Zero-copy load wall with the checksum verified during load.
+    pub mmap_eager: Duration,
+    /// Zero-copy load wall with the checksum deferred (restore returns as
+    /// soon as the structure validates; `verify` runs afterwards).
+    pub mmap_lazy: Duration,
+    /// CSR bytes the mapped load copied — 0 on the mapping fast path, the
+    /// full section size on the portable fallback.
+    pub mmap_owned_bytes: usize,
     /// Snapshot size on disk.
     pub bytes: u64,
     /// Whether the loaded graph fingerprints identical to the original.
@@ -44,8 +59,36 @@ pub fn run(ladder: &[DatasetId]) -> Vec<Row> {
             let t0 = Instant::now();
             let loaded = load_snapshot(&path).expect("snapshot read");
             let load = t0.elapsed();
+            let fingerprint = graph_fingerprint(&g);
+            // The mmap ladder: eager verifies during load; lazy returns
+            // first and pays the checksum pass afterwards (both walls
+            // include a fingerprint touch of every mapped section, so the
+            // page-fault cost of actually *reading* the graph is charged
+            // to the load, not hidden).
+            let t0 = Instant::now();
+            let eager = load_snapshot_mapped(&path, SnapshotVerify::Eager)
+                .expect("mapped eager read")
+                .into_graph();
+            assert_eq!(
+                graph_fingerprint(&eager),
+                fingerprint,
+                "{dataset}: eager mapped load changed the graph"
+            );
+            let mmap_eager = t0.elapsed();
+            let mmap_owned_bytes = eager.owned_csr_bytes();
+            let t0 = Instant::now();
+            let lazy = load_snapshot_mapped(&path, SnapshotVerify::Lazy)
+                .expect("mapped lazy read");
+            lazy.verify().expect("deferred checksum");
+            let lazy = lazy.into_graph();
+            assert_eq!(
+                graph_fingerprint(&lazy),
+                fingerprint,
+                "{dataset}: lazy mapped load changed the graph"
+            );
+            let mmap_lazy = t0.elapsed();
             std::fs::remove_file(&path).ok();
-            let roundtrip_ok = graph_fingerprint(&loaded) == graph_fingerprint(&g);
+            let roundtrip_ok = graph_fingerprint(&loaded) == fingerprint;
             assert!(roundtrip_ok, "{dataset}: snapshot round-trip changed the graph");
             Row {
                 dataset,
@@ -54,6 +97,9 @@ pub fn run(ladder: &[DatasetId]) -> Vec<Row> {
                 build,
                 save,
                 load,
+                mmap_eager,
+                mmap_lazy,
+                mmap_owned_bytes,
                 bytes,
                 roundtrip_ok,
             }
@@ -64,7 +110,8 @@ pub fn run(ladder: &[DatasetId]) -> Vec<Row> {
 /// Renders the round-trip table.
 pub fn render(rows: &[Row]) -> String {
     let header: Vec<String> = [
-        "dataset", "|V|", "|E|", "build", "save", "load", "size", "speedup", "roundtrip",
+        "dataset", "|V|", "|E|", "build", "save", "load", "mmap eager", "mmap lazy",
+        "copied", "size", "speedup", "roundtrip",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -84,6 +131,13 @@ pub fn render(rows: &[Row]) -> String {
                 format!("{:.1?}", r.build),
                 format!("{:.1?}", r.save),
                 format!("{:.1?}", r.load),
+                format!("{:.1?}", r.mmap_eager),
+                format!("{:.1?}", r.mmap_lazy),
+                if r.mmap_owned_bytes == 0 {
+                    "0 (zero-copy)".to_string()
+                } else {
+                    format!("{:.1} MiB", r.mmap_owned_bytes as f64 / (1024.0 * 1024.0))
+                },
                 format!("{:.1} MiB", r.bytes as f64 / (1024.0 * 1024.0)),
                 speedup,
                 if r.roundtrip_ok { "ok" } else { "MISMATCH" }.to_string(),
@@ -91,7 +145,9 @@ pub fn render(rows: &[Row]) -> String {
         })
         .collect();
     format!(
-        "Binary CSR snapshot round-trip (tenant load path: load replaces build on restart)\n{}",
+        "Binary CSR snapshot round-trip (tenant load path: load replaces build on restart; \
+         mmap columns are the zero-copy loader with eager vs deferred checksum, \
+         'copied' is the CSR bytes the mapped graph owns — 0 means it borrows the mapping)\n{}",
         crate::harness::render_table(&header, &body)
     )
 }
@@ -117,6 +173,17 @@ mod tests {
             "loading ({:?}) should beat regenerating ({:?})",
             r.load,
             r.build
+        );
+        assert!(
+            r.mmap_eager < r.build,
+            "mapped loading ({:?}) should beat regenerating ({:?})",
+            r.mmap_eager,
+            r.build
+        );
+        #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+        assert_eq!(
+            r.mmap_owned_bytes, 0,
+            "the mapping fast path must not copy CSR sections"
         );
     }
 }

@@ -49,7 +49,7 @@ pub mod variants;
 
 pub use backend::{
     BackendClass, BackendError, BackendOutput, BackendSpec, CpuBackend, ExecutionBackend,
-    FpgaBackend, QueryCtx,
+    ExecutionStep, FpgaBackend, QueryCtx,
 };
 pub use config::FastConfig;
 pub use fault::{FaultCounters, FaultInjector, FaultPlan};

@@ -7,22 +7,106 @@
 //! host-side CST constructor (Algorithm 1) is built around.
 
 use crate::types::{Label, VertexId};
+use std::any::Any;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Backing storage for one flat CSR array: either an owned `Vec<T>` (the
+/// builder / copying-loader path) or a borrowed view into a shared
+/// memory-mapped snapshot (`crate::snapshot::load_snapshot_mapped`). The
+/// mapped variant keeps the mapping alive through an opaque `Arc`, so a
+/// `Graph` clone is an `Arc` bump, not an array copy.
+pub(crate) enum Section<T> {
+    Owned(Vec<T>),
+    Mapped {
+        /// Keep-alive handle for the mapping backing `ptr`.
+        keep: Arc<dyn Any + Send + Sync>,
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+// Safety: the mapped variant points into a private read-only file mapping
+// owned by `keep`; it is never written through and outlives every view via
+// the `Arc`, so sharing the raw pointer across threads is sound.
+unsafe impl<T: Send + Sync> Send for Section<T> {}
+unsafe impl<T: Send + Sync> Sync for Section<T> {}
+
+impl<T> Section<T> {
+    /// Wraps a read-only view into a mapping. `ptr` must be valid for
+    /// `len` aligned reads of `T` for as long as `keep` is alive.
+    pub(crate) fn mapped(keep: Arc<dyn Any + Send + Sync>, ptr: *const T, len: usize) -> Self {
+        Section::Mapped { keep, ptr, len }
+    }
+
+    /// Bytes of this section held in owned heap storage (0 when mapped).
+    fn owned_bytes(&self) -> usize {
+        match self {
+            Section::Owned(v) => v.len() * std::mem::size_of::<T>(),
+            Section::Mapped { .. } => 0,
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Self {
+        Section::Owned(v)
+    }
+}
+
+impl<T> Deref for Section<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Section::Owned(v) => v,
+            // Safety: upheld by the `Section::mapped` contract; `keep` is
+            // alive for as long as `self` is.
+            Section::Mapped { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T> Clone for Section<T>
+where
+    T: Clone,
+{
+    fn clone(&self) -> Self {
+        match self {
+            Section::Owned(v) => Section::Owned(v.clone()),
+            Section::Mapped { keep, ptr, len } => Section::Mapped {
+                keep: Arc::clone(keep),
+                ptr: *ptr,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        <[T] as fmt::Debug>::fmt(self, f)
+    }
+}
 
 /// An undirected, labelled, simple data graph in CSR form.
 ///
 /// Construct via [`crate::GraphBuilder`] or [`crate::io::read_graph_text`].
 #[derive(Debug, Clone)]
 pub struct Graph {
-    labels: Vec<Label>,
+    labels: Section<Label>,
     /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
-    offsets: Vec<usize>,
+    offsets: Section<usize>,
     /// Concatenated, per-vertex-sorted adjacency lists. Each undirected edge
     /// appears twice (once per endpoint).
-    neighbors: Vec<VertexId>,
+    neighbors: Section<VertexId>,
     /// Number of undirected edges.
     edge_count: usize,
     /// Vertices grouped by label: `label_offsets[l]..label_offsets[l+1]`
-    /// indexes `vertices_by_label`.
+    /// indexes `vertices_by_label`. Always owned (derived, not stored in
+    /// snapshots).
     label_offsets: Vec<usize>,
     vertices_by_label: Vec<VertexId>,
     max_degree: u32,
@@ -39,6 +123,17 @@ impl Graph {
         neighbors: Vec<VertexId>,
         edge_count: usize,
     ) -> Self {
+        Self::from_csr_sections(labels.into(), offsets.into(), neighbors.into(), edge_count)
+    }
+
+    /// Assembles a graph from prevalidated CSR sections (owned or mapped);
+    /// the derived label index is always computed into owned storage.
+    pub(crate) fn from_csr_sections(
+        labels: Section<Label>,
+        offsets: Section<usize>,
+        neighbors: Section<VertexId>,
+        edge_count: usize,
+    ) -> Self {
         debug_assert_eq!(offsets.len(), labels.len() + 1);
         debug_assert_eq!(*offsets.last().unwrap_or(&0), neighbors.len());
 
@@ -47,7 +142,7 @@ impl Graph {
 
         // Bucket vertices by label (counting sort: labels are dense).
         let mut counts = vec![0usize; num_labels];
-        for l in &labels {
+        for l in labels.iter() {
             counts[l.index()] += 1;
         }
         let mut label_offsets = Vec::with_capacity(num_labels + 1);
@@ -198,6 +293,16 @@ impl Graph {
             }
         }
         out.sort_unstable_by_key(|&(l, _)| l);
+    }
+
+    /// Bytes of the three stored CSR sections (labels, offsets, neighbors)
+    /// living in owned heap storage. A graph loaded through
+    /// [`crate::snapshot::load_snapshot_mapped`] returns 0 here — the
+    /// sections are views into the mapping — which is the no-copy witness
+    /// the snapshot tests and figures assert on. The derived label index is
+    /// excluded: it is always recomputed into owned storage.
+    pub fn owned_csr_bytes(&self) -> usize {
+        self.labels.owned_bytes() + self.offsets.owned_bytes() + self.neighbors.owned_bytes()
     }
 
     /// Estimated heap footprint in bytes (labels + CSR arrays + label index).

@@ -42,6 +42,9 @@ pub use order::{
 pub use queries::{all_benchmark_queries, benchmark_query, QUERY_COUNT};
 pub use query::{QueryError, QueryGraph, MAX_QUERY_VERTICES};
 pub use sample::sample_edges;
-pub use snapshot::{graph_fingerprint, load_snapshot, save_snapshot, SnapshotError};
+pub use snapshot::{
+    graph_fingerprint, load_snapshot, load_snapshot_mapped, save_snapshot, MappedSnapshot,
+    SnapshotError, SnapshotVerify,
+};
 pub use stats::{format_count, GraphStats};
 pub use types::{Label, QueryVertexId, VertexId};

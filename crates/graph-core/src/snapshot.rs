@@ -23,19 +23,34 @@
 //! …       —     neighbors 2m × u32 LE         (padded to 8-byte boundary)
 //! ```
 //!
-//! Every section starts 8-byte aligned, so an mmap-based reader can view
-//! the sections in place; the portable reader here copies through a
-//! buffered stream instead (no platform-specific code), which is still an
-//! order of magnitude cheaper than the text path. Validation on load:
-//! magic/version, checksum, monotone offsets terminating at `2m`, and
-//! neighbour ids `< n` — a truncated or bit-flipped snapshot is a typed
-//! [`SnapshotError`], never a malformed [`Graph`].
+//! Every section starts 8-byte aligned, so a mapped reader can view the
+//! sections in place. Two load paths share the same validation:
+//!
+//! * [`load_snapshot`] — portable copying reader through a buffered
+//!   stream (works everywhere, always verifies the checksum);
+//! * [`load_snapshot_mapped`] — zero-copy: the file is `mmap`ed privately
+//!   read-only and the [`Graph`] borrows its label/offset/neighbour
+//!   sections straight from the page cache
+//!   ([`Graph::owned_csr_bytes`]` == 0`), so tenant restore cost is
+//!   page-cache-bound instead of proportional to array bytes. The
+//!   checksum pass is a read-only scan (no copy) and can be deferred
+//!   ([`SnapshotVerify::Lazy`]) to overlap restore with first use;
+//!   structural CSR invariants are *always* validated at load so a
+//!   corrupt snapshot can never index out of bounds. On targets without
+//!   the mapping fast path (non-unix, big-endian, 32-bit) it degrades to
+//!   the copying reader.
+//!
+//! Validation on load: magic/version, checksum, monotone offsets
+//! terminating at `2m`, and neighbour ids `< n` — a truncated or
+//! bit-flipped snapshot is a typed [`SnapshotError`], never a malformed
+//! [`Graph`].
 
 use crate::csr::Graph;
 use crate::types::{Label, VertexId};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::OnceLock;
 
 /// Magic prefix: format name + layout version byte.
 const MAGIC: [u8; 8] = *b"FASTCSR\x01";
@@ -43,6 +58,8 @@ const MAGIC: [u8; 8] = *b"FASTCSR\x01";
 const VERSION: u32 = 1;
 /// Section alignment: every payload section starts on this boundary.
 const ALIGN: usize = 8;
+/// Fixed header length; all three payload sections follow contiguously.
+const HEADER_LEN: usize = 48;
 
 /// Errors from snapshot save/load.
 #[derive(Debug)]
@@ -256,6 +273,308 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
     read_snapshot(&mut BufReader::new(File::open(path)?))
 }
 
+/// When [`load_snapshot_mapped`] verifies the payload checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotVerify {
+    /// Checksum the payload during load — a read-only pass over the
+    /// mapping (still no copy) — and fail fast on mismatch.
+    Eager,
+    /// Defer the checksum to [`MappedSnapshot::verify`], letting restore
+    /// return as soon as the structure is validated. Structural CSR
+    /// invariants (offset monotonicity/span, neighbour ranges) are always
+    /// checked at load, so an unverified graph can never index out of
+    /// bounds — a deferred mismatch only means payload *values* may be
+    /// corrupt.
+    Lazy,
+}
+
+/// Memoized checksum verdict: `None` = payload matches, `Some(msg)` = the
+/// mismatch message.
+type VerifyThunk = Box<dyn Fn() -> Option<String> + Send + Sync>;
+
+/// A snapshot loaded by [`load_snapshot_mapped`]: the [`Graph`] (borrowing
+/// its CSR sections from the mapping where the platform supports it) plus
+/// the deferred-verification handle.
+pub struct MappedSnapshot {
+    graph: Graph,
+    verdict: OnceLock<Option<String>>,
+    thunk: VerifyThunk,
+}
+
+impl std::fmt::Debug for MappedSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedSnapshot")
+            .field("vertices", &self.graph.vertex_count())
+            .field("edges", &self.graph.edge_count())
+            .field("verdict", &self.verdict.get())
+            .finish()
+    }
+}
+
+impl MappedSnapshot {
+    /// A snapshot whose checksum was already verified during load (the
+    /// eager and portable-fallback paths).
+    fn verified(graph: Graph) -> Self {
+        let verdict = OnceLock::new();
+        let _ = verdict.set(None);
+        MappedSnapshot {
+            graph,
+            verdict,
+            thunk: Box::new(|| None),
+        }
+    }
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    fn deferred(graph: Graph, thunk: VerifyThunk) -> Self {
+        MappedSnapshot {
+            graph,
+            verdict: OnceLock::new(),
+            thunk,
+        }
+    }
+
+    /// The loaded graph. Usable before [`Self::verify`] — structure is
+    /// validated at load — but an unverified lazy snapshot may carry
+    /// corrupt payload values.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes the handle, keeping the graph (the mapping stays alive
+    /// inside the graph's sections). Skipping [`Self::verify`] forfeits
+    /// corruption detection on a lazily-loaded snapshot.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Runs (or recalls) the checksum verification. Idempotent: the scan
+    /// happens at most once and the verdict is memoized.
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        match self.verdict.get_or_init(|| (self.thunk)()) {
+            None => Ok(()),
+            Some(msg) => Err(SnapshotError::Format(msg.clone())),
+        }
+    }
+}
+
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+mod mapping {
+    //! A minimal private read-only `mmap` of a whole file, bound directly
+    //! (no libc crate: the workspace builds offline). Confined to
+    //! 64-bit little-endian unix by the parent `cfg`, where `off_t` is
+    //! `i64` and the on-disk little-endian sections can be viewed in
+    //! place.
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A page-aligned private read-only mapping of `len` bytes of a file,
+    /// unmapped on drop.
+    pub(super) struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // Safety: the mapping is read-only and never written through; the
+    // kernel keeps the pages valid until `munmap` in `Drop`.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps the first `len` (> 0) bytes of `file`.
+        pub(super) fn of_file(file: &File, len: usize) -> std::io::Result<Mapping> {
+            debug_assert!(len > 0, "mmap of zero bytes is invalid");
+            // Safety: mapping `len` bytes of an open fd, read-only and
+            // private; the result is checked against MAP_FAILED below.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        /// The mapped bytes.
+        pub(super) fn bytes(&self) -> &[u8] {
+            // Safety: `ptr` is valid for `len` read-only bytes until drop.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // Safety: exactly the pointer/length pair `mmap` returned.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Loads a snapshot zero-copy: the file is mapped read-only and the
+/// returned [`Graph`] borrows its label/offset/neighbour sections from the
+/// mapping ([`Graph::owned_csr_bytes`] is 0). Structure is always
+/// validated; the checksum pass runs per `verify` (see [`SnapshotVerify`]).
+#[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+pub fn load_snapshot_mapped(
+    path: impl AsRef<Path>,
+    verify: SnapshotVerify,
+) -> Result<MappedSnapshot, SnapshotError> {
+    use crate::csr::Section;
+    use std::any::Any;
+    use std::sync::Arc;
+
+    let truncated = |what: &str| SnapshotError::Format(format!("truncated reading {what}"));
+    let file = File::open(path)?;
+    let file_len = usize::try_from(file.metadata()?.len())
+        .map_err(|_| SnapshotError::Format("snapshot exceeds the address space".into()))?;
+    if file_len < HEADER_LEN {
+        return Err(truncated("header"));
+    }
+    let map = Arc::new(mapping::Mapping::of_file(&file, file_len)?);
+    let bytes = map.bytes();
+
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::Format(
+            "magic mismatch (not a FAST CSR snapshot)".into(),
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte field"));
+    if version != VERSION {
+        return Err(SnapshotError::Format(format!(
+            "unsupported snapshot version {version} (expected {VERSION})"
+        )));
+    }
+    let field = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte field"));
+    let n = field(16) as usize;
+    let m = field(24) as usize;
+    let nbr_len = field(32) as usize;
+    let stored = field(40);
+    if m.checked_mul(2) != Some(nbr_len) {
+        return Err(SnapshotError::Format(format!(
+            "neighbors length {nbr_len} does not match 2·edges {}",
+            2 * m as u64
+        )));
+    }
+
+    // Section extents, overflow-checked: a bogus header must become a typed
+    // error, not a wrapped offset.
+    let sizes = (|| {
+        let lab = n.checked_mul(2)?;
+        let lab = lab.checked_add(pad_len(lab))?;
+        let off = n.checked_add(1)?.checked_mul(8)?;
+        let nbr = nbr_len.checked_mul(4)?;
+        let nbr = nbr.checked_add(pad_len(nbr))?;
+        let payload = lab.checked_add(off)?.checked_add(nbr)?;
+        HEADER_LEN.checked_add(payload).map(|end| (lab, off, end))
+    })();
+    let Some((lab_bytes, off_bytes, payload_end)) = sizes else {
+        return Err(SnapshotError::Format("section sizes overflow".into()));
+    };
+    if payload_end > file_len {
+        return Err(truncated("payload sections"));
+    }
+
+    let lab_start = HEADER_LEN;
+    let off_start = lab_start + lab_bytes;
+    let nbr_start = off_start + off_bytes;
+    // Safety: every range is inside the mapping (bounds-checked above) and
+    // 8-aligned — the mapping base is page-aligned, the header is 48 bytes,
+    // and every section length is a multiple of ALIGN. `Label`/`VertexId`
+    // are `repr(transparent)` over `u16`/`u32`, and on this cfg (64-bit
+    // little-endian) `usize` has the layout of the on-disk `u64`.
+    let base = bytes.as_ptr();
+    let labels_ptr = unsafe { base.add(lab_start) } as *const Label;
+    let offsets_ptr = unsafe { base.add(off_start) } as *const usize;
+    let neighbors_ptr = unsafe { base.add(nbr_start) } as *const VertexId;
+    debug_assert_eq!(offsets_ptr.align_offset(ALIGN), 0);
+    let offsets_view: &[usize] = unsafe { std::slice::from_raw_parts(offsets_ptr, n + 1) };
+    let neighbors_view: &[VertexId] = unsafe { std::slice::from_raw_parts(neighbors_ptr, nbr_len) };
+
+    if verify == SnapshotVerify::Eager {
+        let mut fnv = Fnv::new();
+        fnv.update(&bytes[HEADER_LEN..payload_end]);
+        if fnv.0 != stored {
+            return Err(SnapshotError::Format(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {:#018x})",
+                fnv.0
+            )));
+        }
+    }
+
+    // Structural invariants are non-negotiable even for a lazy load: the
+    // graph indexes through these arrays.
+    if offsets_view.first() != Some(&0) || offsets_view.last() != Some(&nbr_len) {
+        return Err(SnapshotError::Format(
+            "offsets do not span the neighbors section".into(),
+        ));
+    }
+    if offsets_view.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Format("offsets are not monotone".into()));
+    }
+    if neighbors_view.iter().any(|v| v.index() >= n) {
+        return Err(SnapshotError::Format("neighbour id out of range".into()));
+    }
+
+    let keep: Arc<dyn Any + Send + Sync> = Arc::clone(&map) as Arc<dyn Any + Send + Sync>;
+    let graph = Graph::from_csr_sections(
+        Section::mapped(Arc::clone(&keep), labels_ptr, n),
+        Section::mapped(Arc::clone(&keep), offsets_ptr, n + 1),
+        Section::mapped(keep, neighbors_ptr, nbr_len),
+        m,
+    );
+    Ok(match verify {
+        SnapshotVerify::Eager => MappedSnapshot::verified(graph),
+        SnapshotVerify::Lazy => MappedSnapshot::deferred(
+            graph,
+            Box::new(move || {
+                let mut fnv = Fnv::new();
+                fnv.update(&map.bytes()[HEADER_LEN..payload_end]);
+                (fnv.0 != stored).then(|| {
+                    format!(
+                        "checksum mismatch (stored {stored:#018x}, computed {:#018x})",
+                        fnv.0
+                    )
+                })
+            }),
+        ),
+    })
+}
+
+/// Portable fallback for targets without the mapping fast path: loads via
+/// the copying reader (which always verifies the checksum up front).
+#[cfg(not(all(unix, target_endian = "little", target_pointer_width = "64")))]
+pub fn load_snapshot_mapped(
+    path: impl AsRef<Path>,
+    _verify: SnapshotVerify,
+) -> Result<MappedSnapshot, SnapshotError> {
+    Ok(MappedSnapshot::verified(load_snapshot(path)?))
+}
+
 /// A structural fingerprint of `g`: FNV-1a over the exact byte sections a
 /// snapshot stores. Two graphs fingerprint equal iff their CSR arrays are
 /// identical — the round-trip witness the CI snapshot step checks.
@@ -373,6 +692,123 @@ mod tests {
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
         let err = load_snapshot(&path).unwrap_err();
         assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("truncated")), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_is_zero_copy_and_fingerprint_identical() {
+        let g = random_labelled_graph(80, 0.15, 4, 7);
+        let path = std::env::temp_dir().join(format!("fast-snap-mapped-{}.bin", std::process::id()));
+        save_snapshot(&g, &path).unwrap();
+
+        let snap = load_snapshot_mapped(&path, SnapshotVerify::Eager).unwrap();
+        snap.verify().expect("eager load is already verified");
+        let back = snap.graph();
+        assert_eq!(graph_fingerprint(back), graph_fingerprint(&g));
+        assert_eq!(back.vertex_count(), g.vertex_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in 0..g.vertex_count() {
+            let v = VertexId::from_index(v);
+            assert_eq!(back.label(v), g.label(v));
+            assert_eq!(back.neighbors(v), g.neighbors(v));
+        }
+
+        // The no-copy witness: a built graph owns its CSR arrays, a mapped
+        // one borrows every stored section from the mapping — clones
+        // included (an Arc bump, not an array copy).
+        assert!(g.owned_csr_bytes() > 0);
+        #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+        {
+            assert_eq!(back.owned_csr_bytes(), 0, "mapped load must not copy CSR sections");
+            assert_eq!(back.clone().owned_csr_bytes(), 0);
+        }
+
+        // The graph outlives the handle (the mapping rides inside it).
+        let owned_out = snap.into_graph();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(graph_fingerprint(&owned_out), graph_fingerprint(&g));
+    }
+
+    #[test]
+    fn mapped_empty_graph_roundtrips() {
+        let g = Graph::from_csr_parts(Vec::new(), vec![0], Vec::new(), 0);
+        let path = std::env::temp_dir().join(format!("fast-snap-mapped-empty-{}.bin", std::process::id()));
+        save_snapshot(&g, &path).unwrap();
+        let snap = load_snapshot_mapped(&path, SnapshotVerify::Lazy).unwrap();
+        assert_eq!(snap.graph().vertex_count(), 0);
+        snap.verify().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_detects_truncation_and_magic() {
+        let g = random_labelled_graph(40, 0.2, 2, 3);
+        let mut buf = Vec::new();
+        write_snapshot(&g, &mut buf).unwrap();
+        let path = std::env::temp_dir().join(format!("fast-snap-mapped-bad-{}.bin", std::process::id()));
+
+        std::fs::write(&path, &buf[..buf.len() / 2]).unwrap();
+        let err = load_snapshot_mapped(&path, SnapshotVerify::Eager).unwrap_err();
+        assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("truncated")), "{err}");
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_snapshot_mapped(&path, SnapshotVerify::Lazy).unwrap_err();
+        assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("magic")), "{err}");
+
+        std::fs::remove_file(&path).ok();
+        let err = load_snapshot_mapped(&path, SnapshotVerify::Eager).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)), "{err}");
+    }
+
+    /// Lazy verification semantics only exist where the mapping fast path
+    /// does; the fallback loader verifies eagerly regardless of the flag.
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    #[test]
+    fn mapped_lazy_defers_checksum_but_catches_corruption() {
+        let g = random_labelled_graph(40, 0.2, 2, 3);
+        let mut buf = Vec::new();
+        write_snapshot(&g, &mut buf).unwrap();
+        // Flip a *label* byte: structurally valid (any u16 is a label), so
+        // only the checksum can catch it.
+        buf[HEADER_LEN] ^= 0x01;
+        let path = std::env::temp_dir().join(format!("fast-snap-mapped-lazy-{}.bin", std::process::id()));
+        std::fs::write(&path, &buf).unwrap();
+
+        let err = load_snapshot_mapped(&path, SnapshotVerify::Eager).unwrap_err();
+        assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("checksum")), "{err}");
+
+        let snap = load_snapshot_mapped(&path, SnapshotVerify::Lazy).expect("lazy load defers the checksum");
+        assert_eq!(snap.graph().vertex_count(), g.vertex_count());
+        let err = snap.verify().unwrap_err();
+        assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("checksum")), "{err}");
+        // Memoized: the second call recalls the verdict.
+        assert!(snap.verify().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Structural invariants hold even when the checksum pass is deferred:
+    /// a snapshot with a *valid* checksum but corrupt offsets is rejected
+    /// at load.
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    #[test]
+    fn mapped_lazy_still_rejects_structural_corruption() {
+        let g = random_labelled_graph(30, 0.2, 2, 9);
+        let mut buf = Vec::new();
+        write_snapshot(&g, &mut buf).unwrap();
+        let n = g.vertex_count();
+        let off_start = HEADER_LEN + n * 2 + pad_len(n * 2);
+        // offsets[0] must be 0; make it 1 and re-seal the checksum so only
+        // the structural check can object.
+        buf[off_start] = 1;
+        let mut fnv = Fnv::new();
+        fnv.update(&buf[HEADER_LEN..]);
+        buf[40..48].copy_from_slice(&fnv.0.to_le_bytes());
+        let path = std::env::temp_dir().join(format!("fast-snap-mapped-struct-{}.bin", std::process::id()));
+        std::fs::write(&path, &buf).unwrap();
+        let err = load_snapshot_mapped(&path, SnapshotVerify::Lazy).unwrap_err();
+        assert!(matches!(err, SnapshotError::Format(ref m) if m.contains("offsets")), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -12,7 +12,12 @@ use std::fmt;
 /// Backed by `u32`: sufficient for graphs of up to ~4.29B vertices, and half
 /// the footprint of `usize` in adjacency arrays (see the CSR layout in
 /// [`crate::Graph`]).
+///
+/// `repr(transparent)` guarantees the layout matches the raw `u32`, so a
+/// little-endian snapshot section can be viewed in place as `[VertexId]`
+/// (see `crate::snapshot::load_snapshot_mapped`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct VertexId(u32);
 
 impl VertexId {
@@ -110,8 +115,11 @@ impl fmt::Display for QueryVertexId {
 /// A vertex label.
 ///
 /// The paper's LDBC datasets use 11 labels (Table III); `u16` leaves ample
-/// headroom while keeping label arrays compact.
+/// headroom while keeping label arrays compact. `repr(transparent)` makes
+/// the layout identical to `u16` so mapped snapshot sections can be viewed
+/// in place.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Label(u16);
 
 impl Label {

@@ -215,6 +215,12 @@ pub struct DevicePool {
     /// admissions, so penalties scale with traffic rather than wall time
     /// (the modelled devices have no wall of their own).
     tick: u64,
+    /// Completion notifications for the event-driven session layer: the
+    /// executor finishing a partition pushes the owning session's id here
+    /// and whichever executor drains the queue next resumes that session.
+    /// Tokens are opaque to the pool — a purely additive layer on top of
+    /// the admit/complete/fail accounting, which is untouched by it.
+    completions: std::collections::VecDeque<u64>,
 }
 
 impl std::fmt::Debug for DevicePool {
@@ -246,7 +252,28 @@ impl DevicePool {
                 backend,
             })
             .collect();
-        Ok(DevicePool { devices, tick: 0 })
+        Ok(DevicePool {
+            devices,
+            tick: 0,
+            completions: std::collections::VecDeque::new(),
+        })
+    }
+
+    /// Enqueues a completion token (FIFO). Called by the executor that ran
+    /// a partition, under the same lock that guards admissions, so a token
+    /// is never observable before the matching `complete`/`fail` call.
+    pub fn push_completion(&mut self, token: u64) {
+        self.completions.push_back(token);
+    }
+
+    /// Dequeues the oldest completion token, if any.
+    pub fn pop_completion(&mut self) -> Option<u64> {
+        self.completions.pop_front()
+    }
+
+    /// Completion tokens awaiting a resume.
+    pub fn pending_completions(&self) -> usize {
+        self.completions.len()
     }
 
     /// A homogeneous fleet of `cards` emulated FPGA devices at `fast`'s
@@ -563,6 +590,24 @@ mod tests {
     /// `admit` on an all-healthy pool (every test fleet starts healthy).
     fn admit(pool: &mut DevicePool, workload: f64) -> (usize, f64, Arc<dyn ExecutionBackend>) {
         pool.admit(workload).expect("healthy pool admits")
+    }
+
+    #[test]
+    fn completion_queue_is_fifo_and_orthogonal_to_scheduling() {
+        let mut pool = fpga_pool(2);
+        assert_eq!(pool.pending_completions(), 0);
+        assert_eq!(pool.pop_completion(), None);
+        pool.push_completion(7);
+        pool.push_completion(3);
+        pool.push_completion(7);
+        assert_eq!(pool.pending_completions(), 3);
+        // Interleaved scheduling traffic leaves the token order untouched.
+        let (d, _, _) = admit(&mut pool, 1.0);
+        pool.complete(d, 1.0, 0.1, 10);
+        assert_eq!(pool.pop_completion(), Some(7));
+        assert_eq!(pool.pop_completion(), Some(3));
+        assert_eq!(pool.pop_completion(), Some(7));
+        assert_eq!(pool.pop_completion(), None);
     }
 
     #[test]

@@ -30,13 +30,23 @@
 //!   [`HealthState`] tracking: consecutive failures quarantine a device
 //!   for a doubling penalty window, an expired quarantine re-admits on
 //!   probation, permanent errors evict for good;
-//! * [`service`] — admission control with **bounded in-flight depth**
-//!   (submissions block when the service is saturated — backpressure, not
-//!   unbounded queueing), worker threads running the decoupled
-//!   prepare/execute phases (`fast::prepare_partitions`), snapshot-loaded
-//!   tenants ([`FastService::load_tenant_snapshot`] skips graph rebuild via
-//!   `graph_core::snapshot`), [`SessionHandle`]s streaming per-partition
-//!   results back as backends drain, and **fault-tolerant execution**
+//! * [`service`] — an **event-driven session executor**: `submit` is a
+//!   non-blocking enqueue, and a small fixed pool of executor threads
+//!   drives each admitted session through an explicit state machine
+//!   (`Admitted → Planning → Building → Dispatched → Draining →
+//!   Done/Shed`) via work-stealing task deques and the device pool's
+//!   completion queue, so outstanding sessions cost slab entries rather
+//!   than OS threads; **bounded execution permits** cap concurrent
+//!   execution ([`FastService::try_submit`] returns the typed
+//!   [`ServeError::Saturated`](service::ServeError) instead of queueing),
+//!   the decoupled prepare/execute phases (`fast::prepare_partitions`)
+//!   run as executor tasks, tenants restore zero-copy from mapped
+//!   snapshots ([`FastService::load_tenant_snapshot`] via
+//!   `graph_core::load_snapshot_mapped`), [`SessionHandle`]s stream
+//!   per-partition results back as backends drain, shutdown drains
+//!   in-flight sessions and sheds queued ones with the typed
+//!   [`ServeError::ShuttingDown`](service::ServeError), and execution is
+//!   **fault-tolerant**
 //!   ([`FaultPolicy`]): failed partitions retry with bounded exponential
 //!   backoff and reroute to the shortest-expected-completion healthy
 //!   device, corrupted outputs are caught by cross-checking a second
@@ -67,11 +77,12 @@
 //!
 //! Every per-query *result* (embedding count, partition sequence,
 //! per-partition counts) is a pure function of `(q, g, FastConfig)` —
-//! independent of worker count, fleet composition (CPU-only, FPGA-only,
+//! independent of executor count, fleet composition (CPU-only, FPGA-only,
 //! mixed), admission interleaving, and cache hits (a cached plan is
 //! bit-identical to the plan a cold run would compute). Only *placement
 //! and timing* vary with concurrency. The property tests in
-//! `tests/prop_serve.rs` and `tests/prop_backend.rs` enforce this.
+//! `tests/prop_serve.rs`, `tests/prop_sessions.rs`, and
+//! `tests/prop_backend.rs` enforce this.
 //!
 //! # Quickstart
 //!

@@ -1,33 +1,47 @@
-//! The [`FastService`]: tenants, admission, sessions, workers, reporting.
+//! The [`FastService`]: tenants, admission, sessions, executors, reporting.
 //!
 //! # Life of a query
 //!
-//! 1. [`FastService::submit_for`] blocks while `max_in_flight` sessions are
-//!    already admitted (backpressure), then enqueues the submission on its
-//!    tenant's lane of the weighted round-robin session table and returns a
-//!    [`SessionHandle`]. Queued sessions are table entries, not blocked OS
-//!    threads.
-//! 2. A worker thread pops the next submission in deficit-round-robin
-//!    order across tenants (queue wait ends) — under saturation every
-//!    backlogged tenant is served in proportion to its quota. The worker
-//!    derives the BFS tree / matching order / kernel plan **once**, and
-//!    derives the plan-cache key from the same tree plus the *tenant's*
-//!    graph epoch.
-//! 3. Two-tier cache lookup in the tenant's partitions, both keyed by the
-//!    same [`cst::PlanKey`] × epoch: a **tier-2** hit replays the refined
-//!    shard CSTs and their partition decomposition through
-//!    [`FastConfig::prepared`] — zero planning, zero build, zero
-//!    partitioning; a plan-only hit rides the stored [`cst::ShardPlan`]
+//! 1. [`FastService::submit_for`] enqueues the submission on its tenant's
+//!    lane of the weighted round-robin session table and returns a
+//!    [`SessionHandle`] **immediately — submission never blocks**. Queued
+//!    sessions are table entries, not blocked OS threads;
+//!    [`FastService::try_submit`] adds typed backpressure
+//!    ([`ServeError::Saturated`]) at the admission bound instead of
+//!    queueing without limit.
+//! 2. A small fixed pool of **executor threads** polls ready work in
+//!    priority order: completed partitions from the device pool's
+//!    completion queue first, then its own task deque (LIFO, cache-warm),
+//!    then tasks stolen from a peer's deque (FIFO, oldest), and finally —
+//!    when an execution permit (`max_in_flight`) is free — the next
+//!    submission in deficit-round-robin order across tenants. A picked-up
+//!    session becomes a slab entry driven through an explicit state
+//!    machine (`Admitted → Planning → Building → Dispatched → Draining →
+//!    Done`/`Shed`), so ten thousand in-flight sessions cost table
+//!    entries, not stacks. The per-session deadline is re-checked at
+//!    every transition.
+//! 3. Pickup derives the BFS tree / matching order / kernel plan
+//!    **once**, then resolves the two cache tiers — both keyed by the
+//!    same [`cst::PlanKey`] × the *tenant's* graph epoch — under a
+//!    single-flight gate: a **tier-2** hit replays the refined shard
+//!    CSTs and their partition decomposition through
+//!    [`FastConfig::prepared`] (zero planning, zero build, zero
+//!    partitioning); a plan-only hit rides the stored [`cst::ShardPlan`]
 //!    into [`fast::prepare_partitions`] through [`FastConfig::shard_plan`]
 //!    (probe skipped, build seeded); a full miss computes and publishes
-//!    the plan, builds, and inserts the captured artifact into tier 2.
-//! 4. Each partition streaming out of the prepare phase is booked onto the
-//!    pool device with the shortest expected completion ([`DevicePool`] —
+//!    the plan, builds, and inserts the captured artifact into tier 2. A
+//!    session whose key is already being computed **parks** (its lane's
+//!    deficit round is told via `WrrQueue::park`; no executor thread
+//!    blocks) and is re-enqueued by the owner's flight release.
+//! 4. The build stages the partition jobs on the session; executor tasks
+//!    then execute them one at a time — each is booked onto the pool
+//!    device with the shortest expected completion ([`DevicePool`] —
 //!    emulated FPGA cards and CPU fallback shares priced under their own
-//!    cost models), executed on that backend, and its per-partition result
-//!    is sent to the session handle immediately.
+//!    cost models), its result is streamed to the session handle, and
+//!    the session lands on the pool's **completion queue** to be resumed
+//!    by whichever executor drains it next.
 //! 5. The final [`QueryReport`] closes the session, service and tenant
-//!    metrics are folded in, and the admission slot is released.
+//!    metrics are folded in, and the execution permit is released.
 //!
 //! Serving executes every partition on the device pool (the multi-FPGA
 //! regime of Section VII-E, generalised to heterogeneous backends); the
@@ -40,11 +54,11 @@ use crate::metrics::{ServeReport, TenantSummary};
 use crate::tenant::{TenantConfig, TenantId, WrrQueue};
 use cst::PlanKey;
 use fast::{
-    prepare_partitions, BackendClass, BackendOutput, CpuBackend, ExecutionBackend, FastConfig,
-    KernelPlan, PartitionJob, QueryCtx, ShardPlanner,
+    prepare_partitions, BackendClass, BackendOutput, CollectMode, CpuBackend, ExecutionBackend,
+    FastConfig, KernelPlan, PartitionJob, QueryCtx, ShardPlanner,
 };
-use graph_core::{path_based_order, select_root, BfsTree, Graph, QueryGraph, VertexId};
-use std::collections::{BTreeMap, HashSet};
+use graph_core::{path_based_order, select_root, BfsTree, Graph, MatchingOrder, QueryGraph, VertexId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{
     mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
@@ -90,16 +104,6 @@ fn pwait<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cond.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Poison-tolerant [`Condvar::wait_while`].
-fn pwait_while<'a, T, F: FnMut(&mut T) -> bool>(
-    cond: &Condvar,
-    guard: MutexGuard<'a, T>,
-    condition: F,
-) -> MutexGuard<'a, T> {
-    cond.wait_while(guard, condition)
-        .unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Configuration of a [`FastService`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -116,7 +120,9 @@ pub struct ServeConfig {
     /// one device per entry; an entirely empty fleet is
     /// [`ServeError::NoDevices`].
     pub extra_devices: Vec<DeviceKind>,
-    /// Host worker threads executing sessions.
+    /// Executor threads polling ready sessions. Each drives many
+    /// sessions through their state machines — in-flight depth is bounded
+    /// by [`max_in_flight`](Self::max_in_flight), not by this.
     pub workers: usize,
     /// Default plan-cache capacity of each tenant's cache partition
     /// (plans); 0 disables caching ("cold" serving). Override per tenant
@@ -133,9 +139,12 @@ pub struct ServeConfig {
     /// warm serve pure dispatch + kernel (zero build work). 0 disables
     /// tier 2. Override per tenant via [`TenantConfig::cst_cache_bytes`].
     pub cst_cache_bytes: usize,
-    /// Bounded in-flight depth across all tenants:
-    /// [`FastService::submit`] blocks once this many sessions are admitted
-    /// but not yet completed.
+    /// Bounded in-flight depth across all tenants. Execution permits:
+    /// executors pick up queued submissions only while fewer than this
+    /// many sessions hold a permit, and [`FastService::try_submit`]
+    /// returns [`ServeError::Saturated`] once this many sessions are
+    /// admitted but not yet finished. [`FastService::submit`] itself
+    /// never blocks — queued sessions are table entries.
     pub max_in_flight: usize,
     /// Default per-session deadline, measured from submission: a session
     /// still queued (or still executing) past it is shed with
@@ -348,6 +357,13 @@ pub enum ServeError {
     /// Every pool device is quarantined or evicted and the CPU fallback is
     /// disabled: the session was shed rather than queued forever.
     Degraded,
+    /// The admission bound (`max_in_flight`) is reached:
+    /// [`FastService::try_submit`] hands the caller typed backpressure
+    /// instead of queueing without limit.
+    Saturated,
+    /// Shutdown has begun: new submissions are rejected, and queued
+    /// sessions that never started are shed with this error.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for ServeError {
@@ -366,6 +382,12 @@ impl std::fmt::Display for ServeError {
                 f,
                 "service degraded: every device is quarantined or evicted"
             ),
+            ServeError::Saturated => {
+                write!(f, "service saturated: admission bound reached")
+            }
+            ServeError::ShuttingDown => {
+                write!(f, "service shutting down: submission rejected")
+            }
         }
     }
 }
@@ -444,7 +466,12 @@ struct Submission {
 
 #[derive(Default)]
 struct Gate {
+    /// Sessions holding an execution permit (picked up, not finished).
     in_flight: usize,
+    /// Sessions admitted and not yet finished, including still-queued
+    /// ones — the bound [`FastService::try_submit`] enforces.
+    admitted: usize,
+    /// High-water mark of `in_flight` (permit holders only).
     max_seen: usize,
 }
 
@@ -594,6 +621,130 @@ impl ObsHooks {
     }
 }
 
+/// A unit of session work on an executor deque. Tasks are one `u64`
+/// deep — the state lives in the session slab.
+#[derive(Clone, Copy)]
+enum Task {
+    /// First entry after pickup: record the queue wait, derive the plan,
+    /// resolve the cache tiers, build, stage partitions.
+    Start(u64),
+    /// Re-entry after parking on another session's plan flight.
+    Resume(u64),
+    /// Execute the session's next staged partition.
+    Exec(u64),
+}
+
+impl Task {
+    fn sid(&self) -> u64 {
+        match self {
+            Task::Start(id) | Task::Resume(id) | Task::Exec(id) => *id,
+        }
+    }
+}
+
+/// Where a session is in its lifecycle. Executor tasks drive the
+/// transitions; the per-session deadline is re-checked at every one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Popped from the DRR table, permit held, not yet planned.
+    Admitted,
+    /// Deriving tree/order/kernel plan and resolving the cache tiers.
+    Planning,
+    /// Parked on another session's plan flight (single-flight waiter).
+    PlanWait,
+    /// Building shard CSTs / partitioning.
+    Building,
+    /// Partitions staged; executor tasks drain them one at a time.
+    Dispatched,
+    /// Last partition popped; awaiting its completion.
+    Draining,
+    /// Retired with a final event sent.
+    Done,
+    /// Retired past its deadline.
+    Shed,
+}
+
+/// The session's derived execution plan, shared with partition tasks
+/// through an `Arc` so execution never holds the session lock.
+struct SessionPlan {
+    tree: BfsTree,
+    order: MatchingOrder,
+    kernel_plan: KernelPlan,
+    collect: CollectMode,
+}
+
+/// Accumulated results and timing splits, folded partition by partition
+/// and snapshotted once at retirement to assemble the [`QueryReport`].
+#[derive(Clone, Default)]
+struct SessionStats {
+    embeddings: u64,
+    partitions: usize,
+    kernel_cycles: u64,
+    device_sec: f64,
+    acc: FaultAcc,
+    picked: Option<Instant>,
+    queue_wait: Duration,
+    build_start_ns: u64,
+    plan_time: Duration,
+    build_time: Duration,
+    topdown_entries: usize,
+    pipeline_shards: usize,
+    seeded_shards: usize,
+    plan_hit: bool,
+    cst_cache_hit: bool,
+}
+
+/// Mutable per-session state, guarded by the slot's own lock. This is
+/// the **innermost** lock in the service: it is never held while taking
+/// any other.
+struct SessionMut {
+    stage: Stage,
+    /// Derived once at pickup.
+    plan: Option<Arc<SessionPlan>>,
+    /// Partitions awaiting execution, in deterministic prepare order.
+    jobs: VecDeque<PartitionJob>,
+    /// First fatal error, latched: remaining partitions are skipped.
+    session_err: Option<ServeError>,
+    /// Flipped exactly once, before any retirement side effect — the
+    /// guard that makes permit release and final-event delivery
+    /// exactly-once under races (a completion vs. a panic handler).
+    finished: bool,
+    stats: SessionStats,
+}
+
+/// One admitted session in the slab: the immutable submission plus the
+/// lock-guarded mutable state the executors advance.
+struct SessionSlot {
+    id: u64,
+    tenant: Arc<TenantState>,
+    query: QueryGraph,
+    submitted: Instant,
+    submitted_ns: u64,
+    tx: mpsc::Sender<SessionEvent>,
+    mu: Mutex<SessionMut>,
+}
+
+impl SessionSlot {
+    fn new(sub: Submission) -> Self {
+        SessionSlot {
+            id: sub.id,
+            tenant: sub.tenant,
+            query: sub.query,
+            submitted: sub.submitted,
+            submitted_ns: sub.submitted_ns,
+            tx: sub.tx,
+            mu: Mutex::new(SessionMut {
+                stage: Stage::Admitted,
+                plan: None,
+                jobs: VecDeque::new(),
+                session_err: None,
+                finished: false,
+                stats: SessionStats::default(),
+            }),
+        }
+    }
+}
+
 struct Inner {
     config: ServeConfig,
     next_id: AtomicU64,
@@ -604,14 +755,14 @@ struct Inner {
     /// The compatibility tenant `submit` addresses, outside the registry
     /// lock (the single-tenant hot path).
     default_tenant: Arc<TenantState>,
-    /// Keys being computed right now (single-flight, scoped per tenant):
-    /// a concurrent identical cold query waits for the owner instead of
-    /// duplicating its work. With tier 2 enabled the owner holds its
-    /// claim through the whole build (waiters wake into a tier-2 hit —
-    /// shard CSTs are built exactly once); with tier 2 disabled the claim
-    /// covers only planning, as before.
-    pending_plans: Mutex<HashSet<(TenantId, PlanKey)>>,
-    pending_cond: Condvar,
+    /// Keys being computed right now (single-flight, scoped per tenant),
+    /// each mapped to the sessions **parked** on it: a concurrent
+    /// identical cold query parks as a slab entry — no executor thread
+    /// blocks — and the owner's flight release re-enqueues it. With
+    /// tier 2 enabled the owner holds its claim through the whole build
+    /// (waiters wake into a tier-2 hit — shard CSTs are built exactly
+    /// once); with tier 2 disabled the claim covers only planning.
+    pending_plans: Mutex<HashMap<(TenantId, PlanKey), Vec<u64>>>,
     devices: Mutex<DevicePool>,
     /// The emergency CPU share of degraded mode: partitions run here when
     /// every pool device is quarantined or evicted (and
@@ -620,10 +771,23 @@ struct Inner {
     fallback: Option<Arc<CpuBackend>>,
     /// The queued session table: one weighted lane per tenant.
     queue: Mutex<WrrQueue<Submission>>,
-    queue_cond: Condvar,
+    /// The session slab: every picked-up-but-unfinished session. Removal
+    /// on retirement drops the event sender, so an abandoned handle sees
+    /// [`ServeError::Disconnected`] rather than hanging.
+    sessions: Mutex<HashMap<u64, Arc<SessionSlot>>>,
+    /// Per-executor task deques: the owner pops newest-first (cache-warm
+    /// LIFO), thieves steal oldest-first (FIFO). Tasks route to
+    /// `deques[sid % workers]`, so one session's tasks mostly stay on
+    /// one executor.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// One wake sequence shared by every producer (submissions, task
+    /// pushes, partition completions, shutdown): producers bump and
+    /// notify; an idle executor snapshots it *before* scanning and
+    /// sleeps only if it is unchanged — the missed-wakeup guard.
+    wake: Mutex<u64>,
+    wake_cond: Condvar,
     shutting_down: AtomicBool,
     gate: Mutex<Gate>,
-    gate_cond: Condvar,
     /// Service-wide metrics (per-tenant slices live in `TenantState`).
     metrics: Mutex<MetricsState>,
     /// Baseline for the next [`FastService::report_window`] delta.
@@ -675,7 +839,7 @@ impl FastService {
         graph: impl Into<Arc<Graph>>,
         mut config: ServeConfig,
     ) -> Result<Self, ServeError> {
-        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.workers >= 1, "need at least one executor");
         assert!(config.max_in_flight >= 1, "need in-flight depth >= 1");
         let pool = DevicePool::build(&config.fast, config.devices, &config.extra_devices)?;
         // One partition stream feeds every card: partitions must fit the
@@ -703,18 +867,21 @@ impl FastService {
             next_tenant: AtomicU32::new(1),
             tenants: RwLock::new(tenants),
             default_tenant,
-            pending_plans: Mutex::new(HashSet::new()),
-            pending_cond: Condvar::new(),
+            pending_plans: Mutex::new(HashMap::new()),
             devices: Mutex::new(pool),
             fallback: config
                 .fault
                 .cpu_fallback
                 .then(|| Arc::new(CpuBackend::new(config.fault.fallback_threads))),
             queue: Mutex::new(queue),
-            queue_cond: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            deques: (0..config.workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            wake: Mutex::new(0),
+            wake_cond: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             gate: Mutex::new(Gate::default()),
-            gate_cond: Condvar::new(),
             metrics: Mutex::new(MetricsState::default()),
             window: Mutex::new(WindowState {
                 seq: 0,
@@ -728,46 +895,9 @@ impl FastService {
             config,
         });
         let workers = (0..inner.config.workers)
-            .map(|_| {
+            .map(|w| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || loop {
-                    // Pop the next submission in weighted round-robin
-                    // order; hold the table lock only for the pop.
-                    let sub = {
-                        let mut queue = inner.queue.plock();
-                        loop {
-                            if let Some(sub) = queue.pop() {
-                                break sub;
-                            }
-                            if inner.shutting_down.load(Ordering::Acquire) {
-                                return;
-                            }
-                            queue = pwait(&inner.queue_cond, queue);
-                        }
-                    };
-                    // A panicking session must not kill the worker: its
-                    // admission slot is released by SlotGuard during the
-                    // unwind, its handle sees Disconnected (the event
-                    // sender drops), and the failure is counted here.
-                    let tenant = Arc::clone(&sub.tenant);
-                    let outcome = std::panic::catch_unwind(
-                        std::panic::AssertUnwindSafe(|| serve_one(&inner, sub)),
-                    );
-                    if outcome.is_err() {
-                        let now = Instant::now();
-                        {
-                            let mut m = inner.metrics.plock();
-                            m.failed += 1;
-                            m.last_done = Some(now);
-                        }
-                        {
-                            let mut m = tenant.metrics.plock();
-                            m.failed += 1;
-                            m.last_done = Some(now);
-                        }
-                        inner.hooks.failed.inc();
-                    }
-                })
+                std::thread::spawn(move || executor_loop(&inner, w))
             })
             .collect();
         Ok(FastService { inner, workers })
@@ -814,15 +944,19 @@ impl FastService {
 
     /// Registers a tenant from a binary CSR snapshot
     /// (`graph_core::snapshot`) — the restart path that skips graph
-    /// rebuild entirely.
+    /// rebuild entirely. The snapshot is memory-mapped and verified
+    /// eagerly ([`graph_core::load_snapshot_mapped`]): the CSR sections
+    /// are adopted zero-copy out of the mapping instead of being re-read
+    /// and re-allocated, so a large tenant graph costs page-cache
+    /// references, not a heap copy.
     pub fn load_tenant_snapshot(
         &self,
         path: impl AsRef<std::path::Path>,
         config: TenantConfig,
     ) -> Result<TenantId, ServeError> {
-        let graph = graph_core::load_snapshot(path)
+        let snap = graph_core::load_snapshot_mapped(path, graph_core::SnapshotVerify::Eager)
             .map_err(|e| ServeError::Snapshot(e.to_string()))?;
-        self.add_tenant(graph, config)
+        self.add_tenant(snap.into_graph(), config)
     }
 
     /// The default tenant's data graph.
@@ -853,44 +987,48 @@ impl FastService {
         Ok(epoch)
     }
 
-    /// Submits a query for the default tenant, **blocking while the
-    /// service is at its in-flight bound** (backpressure — a closed-loop
-    /// client slows down instead of growing an unbounded queue).
+    /// Submits a query for the default tenant. **Non-blocking**: the
+    /// submission is enqueued on the tenant's DRR lane and the handle
+    /// returned immediately; execution permits (`max_in_flight`) are
+    /// taken at pickup, not here. [`SessionHandle::wait`] stays the
+    /// blocking side of the API.
     pub fn submit(&self, query: QueryGraph) -> SessionHandle {
         self.submit_for(TenantId::DEFAULT, query)
             .expect("default tenant always exists")
     }
 
-    /// Submits a query for `tenant`, blocking at the in-flight bound.
+    /// Submits a query for `tenant` — non-blocking, as [`Self::submit`].
+    /// Fails typed with [`ServeError::ShuttingDown`] once shutdown has
+    /// begun.
     pub fn submit_for(
         &self,
         tenant: TenantId,
         query: QueryGraph,
     ) -> Result<SessionHandle, ServeError> {
         let state = self.inner.tenant(tenant)?;
-        {
-            let gate = self.inner.gate.plock();
-            let mut gate = pwait_while(&self.inner.gate_cond, gate, |g| {
-                g.in_flight >= self.inner.config.max_in_flight
-            });
-            gate.in_flight += 1;
-            gate.max_seen = gate.max_seen.max(gate.in_flight);
-            self.inner.hooks.in_flight.set(gate.in_flight as f64);
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
         }
+        self.inner.gate.plock().admitted += 1;
         Ok(self.enqueue(state, query))
     }
 
-    /// Non-blocking admission for the default tenant: returns the query
-    /// back when the service is saturated.
-    pub fn try_submit(&self, query: QueryGraph) -> Result<SessionHandle, QueryGraph> {
+    /// Admission with typed backpressure for the default tenant: at the
+    /// admission bound (`max_in_flight` sessions admitted and not yet
+    /// finished) the submission is rejected with
+    /// [`ServeError::Saturated`] instead of queueing without limit.
+    pub fn try_submit(&self, query: QueryGraph) -> Result<SessionHandle, ServeError> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
         {
+            // Check-and-claim under one gate lock: two racing
+            // `try_submit`s can never both squeeze past the bound.
             let mut gate = self.inner.gate.plock();
-            if gate.in_flight >= self.inner.config.max_in_flight {
-                return Err(query);
+            if gate.admitted >= self.inner.config.max_in_flight {
+                return Err(ServeError::Saturated);
             }
-            gate.in_flight += 1;
-            gate.max_seen = gate.max_seen.max(gate.in_flight);
-            self.inner.hooks.in_flight.set(gate.in_flight as f64);
+            gate.admitted += 1;
         }
         Ok(self.enqueue(Arc::clone(&self.inner.default_tenant), query))
     }
@@ -925,7 +1063,7 @@ impl FastService {
             .plock()
             .push(tenant_id, submission);
         debug_assert!(pushed, "validated tenant must have a lane");
-        self.inner.queue_cond.notify_one();
+        notify_executors(&self.inner);
         SessionHandle {
             id,
             tenant: tenant_id,
@@ -1062,8 +1200,10 @@ impl FastService {
         out
     }
 
-    /// Stops accepting submissions, drains queued and in-flight sessions,
-    /// joins the workers, and returns the final report.
+    /// Deterministic shutdown: stops accepting submissions, runs every
+    /// **in-flight** session to completion, sheds every queued-but-never-
+    /// started session with [`ServeError::ShuttingDown`] (no waiter ever
+    /// hangs), joins the executors, and returns the final report.
     pub fn shutdown(mut self) -> ServeReport {
         self.stop_workers();
         self.report()
@@ -1071,17 +1211,37 @@ impl FastService {
 
     fn stop_workers(&mut self) {
         self.inner.shutting_down.store(true, Ordering::Release);
-        self.inner.queue_cond.notify_all();
+        notify_executors(&self.inner);
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // A submission can race the flag: checked before the store,
+        // enqueued after the executors drained and exited. Shed any such
+        // straggler here so its handle resolves typed instead of hanging.
+        loop {
+            let sub = {
+                let mut gate = self.inner.gate.plock();
+                let mut queue = self.inner.queue.plock();
+                match queue.pop() {
+                    Some(sub) => {
+                        gate.admitted = gate.admitted.saturating_sub(1);
+                        Some(sub)
+                    }
+                    None => None,
+                }
+            };
+            match sub {
+                Some(sub) => shed_for_shutdown(&self.inner, sub),
+                None => break,
+            }
         }
     }
 }
 
 impl Drop for FastService {
     fn drop(&mut self) {
-        // `shutdown` already joined; otherwise detach cleanly — workers
-        // drain the session table, then observe the flag and exit.
+        // `shutdown` already joined; otherwise the same deterministic
+        // drain — in-flight sessions complete, queued ones shed typed.
         self.stop_workers();
     }
 }
@@ -1198,8 +1358,9 @@ fn assemble_report(
     report
 }
 
-/// Removes a key from the single-flight set on drop — including on a
-/// panicking unwind, so a wedged owner can never block waiters forever.
+/// Releases a single-flight claim on drop — including on a panicking
+/// unwind — and re-enqueues every parked waiter as a `Resume` task, so
+/// a wedged owner can never strand its waiters.
 struct FlightGuard<'a> {
     inner: &'a Inner,
     key: (TenantId, PlanKey),
@@ -1207,90 +1368,291 @@ struct FlightGuard<'a> {
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        self.inner.pending_plans.plock().remove(&self.key);
-        self.inner.pending_cond.notify_all();
-    }
-}
-
-/// Releases a session's admission slot on drop — the only release path,
-/// so a panicking session can never leak its slot and wedge `submit`.
-struct SlotGuard<'a> {
-    inner: &'a Inner,
-}
-
-impl Drop for SlotGuard<'_> {
-    fn drop(&mut self) {
-        {
-            let mut gate = self.inner.gate.plock();
-            gate.in_flight = gate.in_flight.saturating_sub(1);
-            self.inner.hooks.in_flight.set(gate.in_flight as f64);
+        let waiters = self.inner.pending_plans.plock().remove(&self.key);
+        for sid in waiters.into_iter().flatten() {
+            push_task(self.inner, Task::Resume(sid));
         }
-        self.inner.gate_cond.notify_all();
     }
 }
 
-/// Executes one session on the calling worker thread.
-fn serve_one(inner: &Inner, sub: Submission) {
-    // Admission slot released when this frame unwinds, panicking or not.
-    let _slot = SlotGuard { inner };
-    // Everything this session records — queue wait, plan, build, the
-    // backend execute spans down the call stack — lands on its own track.
+/// Bumps the wake sequence and wakes every idle executor. Called by all
+/// producers: submissions, task pushes, partition completions, permit
+/// releases, shutdown.
+fn notify_executors(inner: &Inner) {
+    *inner.wake.plock() += 1;
+    inner.wake_cond.notify_all();
+}
+
+/// Routes a task to its session's home deque and wakes the executors.
+fn push_task(inner: &Inner, task: Task) {
+    let lane = (task.sid() as usize) % inner.deques.len();
+    inner.deques[lane].plock().push_back(task);
+    notify_executors(inner);
+}
+
+/// Pops the next task: own deque newest-first, then steal oldest-first
+/// from the peers.
+fn pop_task(inner: &Inner, me: usize) -> Option<Task> {
+    if let Some(task) = inner.deques[me].plock().pop_back() {
+        return Some(task);
+    }
+    let n = inner.deques.len();
+    for step in 1..n {
+        if let Some(task) = inner.deques[(me + step) % n].plock().pop_front() {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// Looks a session up in the slab; `None` means it was already retired
+/// (a stale task or completion token) and the caller just returns.
+fn session(inner: &Inner, sid: u64) -> Option<Arc<SessionSlot>> {
+    inner.sessions.plock().get(&sid).cloned()
+}
+
+/// Runs one session task with panic containment: a panicking session is
+/// retired as failed (permit released, slab entry dropped so its handle
+/// sees `Disconnected`) and the executor itself keeps serving.
+fn run_contained(inner: &Inner, sid: u64, f: impl FnOnce()) {
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_err() {
+        panic_retire(inner, sid);
+    }
+}
+
+/// The poll loop each executor thread runs. Priority order:
+///
+/// 1. **Completions** — resuming a dispatched session beats starting new
+///    work, so with one executor each popped session runs to completion
+///    before the next DRR pop (the completion-order witness the
+///    multi-tenant fairness tests rank).
+/// 2. Own deque (LIFO — the task it just produced, cache-warm).
+/// 3. Steal from a peer (FIFO — the oldest parked work).
+/// 4. Pick up the next queued submission, if a permit is free.
+/// 5. Idle: exit once shutdown has drained everything, else sleep until
+///    a producer bumps the wake sequence.
+fn executor_loop(inner: &Arc<Inner>, me: usize) {
+    loop {
+        // Snapshot the wake sequence *before* scanning: a producer that
+        // lands mid-scan bumps it, and the wait below falls through.
+        let seen = *inner.wake.plock();
+        let completion = inner.devices.plock().pop_completion();
+        if let Some(sid) = completion {
+            run_contained(inner, sid, || on_completion(inner, sid));
+            continue;
+        }
+        if let Some(task) = pop_task(inner, me) {
+            let sid = task.sid();
+            run_contained(inner, sid, || run_task(inner, task));
+            continue;
+        }
+        if pickup(inner) {
+            continue;
+        }
+        if inner.shutting_down.load(Ordering::Acquire) && drained(inner) {
+            return;
+        }
+        let wake = inner.wake.plock();
+        if *wake == seen {
+            drop(pwait(&inner.wake_cond, wake));
+        }
+    }
+}
+
+/// Whether shutdown has nothing left to drain: no admitted session in
+/// any state (queued, parked, dispatched) and no stray task or token.
+fn drained(inner: &Inner) -> bool {
+    let queue_idle = {
+        let queue = inner.queue.plock();
+        queue.len() == 0 && queue.parked_total() == 0
+    };
+    queue_idle
+        && inner.gate.plock().admitted == 0
+        && inner.devices.plock().pending_completions() == 0
+        && inner.deques.iter().all(|d| d.plock().is_empty())
+}
+
+/// Tries to admit the next queued submission. Returns `true` if it did
+/// anything (served a pickup or shed at shutdown), `false` on an empty
+/// queue or exhausted permits.
+fn pickup(inner: &Inner) -> bool {
+    let shutting_down = inner.shutting_down.load(Ordering::Acquire);
+    let (sub, shed) = {
+        // gate → queue is the one nested lock order in the service.
+        let mut gate = inner.gate.plock();
+        if !shutting_down && gate.in_flight >= inner.config.max_in_flight {
+            return false;
+        }
+        let mut queue = inner.queue.plock();
+        let Some(sub) = queue.pop() else {
+            return false;
+        };
+        if shutting_down {
+            // Queued-never-started sessions are shed typed at shutdown;
+            // they held no execution permit, only an admitted slot.
+            gate.admitted = gate.admitted.saturating_sub(1);
+            (sub, true)
+        } else {
+            gate.in_flight += 1;
+            gate.max_seen = gate.max_seen.max(gate.in_flight);
+            inner.hooks.in_flight.set(gate.in_flight as f64);
+            (sub, false)
+        }
+    };
+    if shed {
+        shed_for_shutdown(inner, sub);
+        return true;
+    }
+    let sid = sub.id;
+    let slot = Arc::new(SessionSlot::new(sub));
+    inner.sessions.plock().insert(sid, Arc::clone(&slot));
+    run_contained(inner, sid, || run_task(inner, Task::Start(sid)));
+    true
+}
+
+/// Sheds a queued submission at shutdown with the typed error. The
+/// session never started: there is no slab entry or permit to release —
+/// only the failure accounting, the closing spans, and the final event.
+fn shed_for_shutdown(inner: &Inner, sub: Submission) {
     let strack = obs::session_track(sub.id);
-    let _track = obs::set_track(strack);
-    let picked = Instant::now();
-    let picked_ns = obs::now_ns();
-    let queue_wait = picked.duration_since(sub.submitted);
-    obs::record_span(strack, "queue_wait", "serve", sub.submitted_ns, picked_ns, Vec::new());
-    // Closes the session span (submit → now) with its outcome; recorded
-    // on every exit path *before* the handle is notified, so a waiter
-    // that snapshots the trace after `wait()` sees its own session.
-    let close_session = |outcome: &'static str, embeddings: u64| {
+    obs::record_span(
+        strack,
+        "queue_wait",
+        "serve",
+        sub.submitted_ns,
+        obs::now_ns(),
+        Vec::new(),
+    );
+    finish(inner, &sub.tenant, FinishOutcome::Failed);
+    obs::record_span(
+        strack,
+        "session",
+        "serve",
+        sub.submitted_ns,
+        obs::now_ns(),
+        vec![
+            ("tenant", obs::ArgValue::U64(sub.tenant.id.raw() as u64)),
+            ("outcome", obs::ArgValue::Str("shutdown")),
+            ("embeddings", obs::ArgValue::U64(0)),
+        ],
+    );
+    let _ = sub.tx.send(SessionEvent::Failed(ServeError::ShuttingDown));
+    notify_executors(inner);
+}
+
+fn run_task(inner: &Inner, task: Task) {
+    match task {
+        Task::Start(sid) => run_admit(inner, sid, false),
+        Task::Resume(sid) => run_admit(inner, sid, true),
+        Task::Exec(sid) => run_exec(inner, sid),
+    }
+}
+
+/// Drives a session from pickup (or resume) through planning and build
+/// to its first staged partition — or straight to retirement.
+fn run_admit(inner: &Inner, sid: u64, resumed: bool) {
+    let Some(slot) = session(inner, sid) else { return };
+    // Everything this task records — queue wait, plan, build and the
+    // backend execute spans down the call stack — lands on the
+    // session's own track, re-entered per task.
+    let _track = obs::set_track(obs::session_track(sid));
+    if resumed {
+        // Reverse the park bookkeeping; the DRR lane itself never held
+        // this session (it was popped at pickup).
+        inner.queue.plock().unpark(slot.tenant.id);
+    }
+    match build_session(inner, &slot, resumed) {
+        BuildOutcome::Parked => {}
+        BuildOutcome::Shed(at) => finalize(inner, &slot, SessionOutcome::Shed { at }),
+        BuildOutcome::Failed(err) => finalize(inner, &slot, SessionOutcome::Error(err)),
+        BuildOutcome::Ready => {
+            if slot.mu.plock().jobs.is_empty() {
+                finalize(inner, &slot, SessionOutcome::Completed);
+            } else {
+                push_task(inner, Task::Exec(sid));
+            }
+        }
+    }
+}
+
+enum BuildOutcome {
+    /// Parked on another session's flight; a `Resume` task re-enters.
+    Parked,
+    /// The deadline passed at this transition (`&'static str` names it).
+    Shed(&'static str),
+    Failed(ServeError),
+    /// Partitions staged (possibly zero); ready for `Exec` tasks.
+    Ready,
+}
+
+/// The planning/build half of a session: queue-wait accounting, plan
+/// derivation, the two-tier cache resolution under the single-flight
+/// gate, and the partition-staging build.
+fn build_session(inner: &Inner, slot: &SessionSlot, resumed: bool) -> BuildOutcome {
+    let strack = obs::session_track(slot.id);
+    let q = &slot.query;
+    let tenant = &slot.tenant;
+    let g: &Graph = &tenant.graph;
+    let deadline = tenant.deadline;
+
+    if !resumed {
+        let picked = Instant::now();
+        let picked_ns = obs::now_ns();
+        let queue_wait = picked.duration_since(slot.submitted);
         obs::record_span(
             strack,
-            "session",
+            "queue_wait",
             "serve",
-            sub.submitted_ns,
-            obs::now_ns(),
-            vec![
-                ("tenant", obs::ArgValue::U64(sub.tenant.id.raw() as u64)),
-                ("outcome", obs::ArgValue::Str(outcome)),
-                ("embeddings", obs::ArgValue::U64(embeddings)),
-            ],
+            slot.submitted_ns,
+            picked_ns,
+            Vec::new(),
         );
-    };
-    let q = &sub.query;
-    let tenant = &sub.tenant;
-    let g: &Graph = &tenant.graph;
-
-    // Derive tree/order/kernel-plan once; the cache key reuses this tree.
-    let root = select_root(q, g);
-    let tree = BfsTree::new(q, root);
-    let order = path_based_order(q, &tree, g);
-    let kernel_plan = match KernelPlan::new(q, &order, &tree) {
-        Ok(p) => p,
-        Err(e) => {
-            finish(inner, tenant, FinishOutcome::Failed);
-            close_session("failed", 0);
-            let _ = sub
-                .tx
-                .send(SessionEvent::Failed(ServeError::Failed(e.to_string())));
-            return;
+        {
+            let mut s = slot.mu.plock();
+            s.stage = Stage::Planning;
+            s.stats.picked = Some(picked);
+            s.stats.queue_wait = queue_wait;
         }
-    };
-
-    // Deadline shed at pickup: a session that waited out its whole budget
-    // in the queue does no work at all — shedding it is what keeps a
-    // backlogged DRR lane from stalling every tenant behind doomed work.
-    let deadline = tenant.deadline;
-    if let Some(dl) = deadline {
-        if queue_wait > dl {
-            finish(inner, tenant, FinishOutcome::DeadlineMiss);
-            obs::event("deadline_shed", "fault", vec![("at", obs::ArgValue::Str("pickup"))]);
-            close_session("shed", 0);
-            let _ = sub.tx.send(SessionEvent::Failed(ServeError::DeadlineExceeded));
-            return;
+        // Deadline shed at pickup: a session that waited out its whole
+        // budget in the queue does no work at all — shedding it is what
+        // keeps a backlogged DRR lane from stalling every tenant behind
+        // doomed work.
+        if let Some(dl) = deadline {
+            if queue_wait > dl {
+                return BuildOutcome::Shed("pickup");
+            }
+        }
+        // Derive tree/order/kernel-plan once; the cache key reuses this
+        // tree, and partition tasks share the result through an Arc.
+        let root = select_root(q, g);
+        let tree = BfsTree::new(q, root);
+        let order = path_based_order(q, &tree, g);
+        let kernel_plan = match KernelPlan::new(q, &order, &tree) {
+            Ok(p) => p,
+            Err(e) => return BuildOutcome::Failed(ServeError::Failed(e.to_string())),
+        };
+        slot.mu.plock().plan = Some(Arc::new(SessionPlan {
+            tree,
+            order,
+            kernel_plan,
+            collect: inner.config.fast.collect,
+        }));
+    } else if let Some(dl) = deadline {
+        // Deadline re-check at the PlanWait → Planning transition: a
+        // session that waited out its budget parked on someone else's
+        // flight sheds on resume instead of building doomed work.
+        if slot.submitted.elapsed() > dl {
+            return BuildOutcome::Shed("resume");
         }
     }
+    let plan = Arc::clone(
+        slot.mu
+            .plock()
+            .plan
+            .as_ref()
+            .expect("plan derived at pickup"),
+    );
+    let tree = &plan.tree;
 
     // Two-tier lookup under one single-flight gate, keyed (tenant, key):
     //
@@ -1312,37 +1674,38 @@ fn serve_one(inner: &Inner, sub: Submission) {
     let mut config = inner.config.fast.clone();
     let pipe_opts = config.pipeline_options(q.vertex_count());
     let epoch = tenant.epoch.load(Ordering::Relaxed);
-    let key = PlanKey::derive(q, &tree, &pipe_opts, epoch);
+    let key = PlanKey::derive(q, tree, &pipe_opts, epoch);
     let flight_key = (tenant.id, key);
     let cache_enabled = tenant.cache.plock().capacity() > 0;
-    let cst_enabled = tenant
-        .cst_cache
-        .plock()
-        .budget_bytes()
-        > 0;
+    let cst_enabled = tenant.cst_cache.plock().budget_bytes() > 0;
     let mut cached_plan = None;
     let mut cached_artifact = None;
     let mut flight = None;
     if cache_enabled || cst_enabled {
         let mut pending = inner.pending_plans.plock();
-        while pending.contains(&flight_key) {
-            pending = pwait(&inner.pending_cond, pending);
+        if let Some(waiters) = pending.get_mut(&flight_key) {
+            // The key is being computed right now. Park: register as a
+            // waiter (the owner's flight release re-enqueues a Resume
+            // task) and take the session off its tenant's deficit board
+            // — no executor thread blocks on it.
+            waiters.push(slot.id);
+            drop(pending);
+            slot.mu.plock().stage = Stage::PlanWait;
+            inner.queue.plock().park(tenant.id);
+            return BuildOutcome::Parked;
         }
         // Tier 2 first: a hit needs neither the plan nor a flight. (The
         // plan cache deliberately sees no lookup — its counters then
         // measure only the sessions that actually needed a plan.)
         if cst_enabled {
-            cached_artifact = tenant
-                .cst_cache
-                .plock()
-                .get(&key);
+            cached_artifact = tenant.cst_cache.plock().get(&key);
         }
         if cached_artifact.is_none() {
             if cache_enabled {
                 cached_plan = tenant.cache.plock().get(&key);
             }
             if cached_plan.is_none() || cst_enabled {
-                pending.insert(flight_key);
+                pending.insert(flight_key, Vec::new());
                 flight = Some(FlightGuard {
                     inner,
                     key: flight_key,
@@ -1352,10 +1715,7 @@ fn serve_one(inner: &Inner, sub: Submission) {
     } else {
         // Both tiers disabled ("cold" serving): every lookup misses, and
         // both tiers' counters record it.
-        cached_artifact = tenant
-            .cst_cache
-            .plock()
-            .get(&key);
+        cached_artifact = tenant.cst_cache.plock().get(&key);
         cached_plan = tenant.cache.plock().get(&key);
     }
     let cst_cache_hit = cached_artifact.is_some();
@@ -1363,29 +1723,26 @@ fn serve_one(inner: &Inner, sub: Submission) {
     let mut measured_plan_time = Duration::ZERO;
     if let Some(artifact) = cached_artifact {
         // Fully warm: `prepare_partitions` streams the artifact's
-        // partitions straight to the sink below.
+        // partitions straight into the staging sink below.
         config.prepared = Some(artifact);
     } else {
-        let plan = match cached_plan {
+        let shard_plan = match cached_plan {
             Some(plan) => plan,
             None => {
                 let t0 = Instant::now();
                 let t0_ns = obs::now_ns();
-                let roots = cst::root_candidates(q, g, &tree, pipe_opts.cst);
-                let plan =
-                    Arc::new(cst::plan_pipeline_shards(q, g, &tree, &pipe_opts, &roots));
+                let roots = cst::root_candidates(q, g, tree, pipe_opts.cst);
+                let shard_plan =
+                    Arc::new(cst::plan_pipeline_shards(q, g, tree, &pipe_opts, &roots));
                 measured_plan_time = t0.elapsed();
                 obs::record_span(strack, "plan", "serve", t0_ns, obs::now_ns(), Vec::new());
                 if cache_enabled {
-                    tenant
-                        .cache
-                        .plock()
-                        .insert(key, Arc::clone(&plan));
+                    tenant.cache.plock().insert(key, Arc::clone(&shard_plan));
                 }
-                plan
+                shard_plan
             }
         };
-        config.shard_plan = Some(plan);
+        config.shard_plan = Some(shard_plan);
         config.capture_prepared = cst_enabled;
         if !cst_enabled {
             // The plan is published; waiters wake straight into a plan
@@ -1396,155 +1753,349 @@ fn serve_one(inner: &Inner, sub: Submission) {
         }
     }
 
-    let ctx = QueryCtx {
-        query: q,
-        graph: g,
-        order: &order,
-        kernel_plan: &kernel_plan,
-        collect: config.collect,
-    };
-    let mut embeddings = 0u64;
-    let mut partitions = 0usize;
-    let mut kernel_cycles = 0u64;
-    let mut device_sec = 0.0f64;
-    // Fault accounting + the session-fatal flag: `prepare_partitions`
-    // streams partitions unconditionally, so a fatal error (retry budget
-    // exhausted, degraded fleet with fallback off, deadline passed
-    // mid-session) is latched here and the remaining partitions are
-    // skipped rather than executed.
-    let mut acc = FaultAcc::default();
-    let mut session_err: Option<ServeError> = None;
-    // Wall spent inside this sink (admission + inline backend execution):
-    // `PreparePhase::partition_time` includes it, the build split must not.
-    let mut sink_exec = Duration::ZERO;
-    let policy = &inner.config.fault;
-    // The "build" span covers the whole prepare/execute phase (the
-    // partition sink runs the kernels inline), so every backend
-    // `execute` span nests inside it — including on a tier-2 replay,
-    // where the `tier2_hit` arg marks that nothing was actually built.
+    slot.mu.plock().stage = Stage::Building;
+    // The "build" span (recorded at retirement, completed sessions only)
+    // starts here and ends after the last partition executes, so every
+    // backend `execute` span nests inside it — including on a tier-2
+    // replay, where the `tier2_hit` arg marks that nothing was built.
     let build_start_ns = obs::now_ns();
-    let prep = prepare_partitions(q, g, &config, &tree, &order, &mut |job| {
-        if session_err.is_some() {
-            return;
-        }
-        if let Some(dl) = deadline {
-            if sub.submitted.elapsed() > dl {
-                session_err = Some(ServeError::DeadlineExceeded);
-                return;
-            }
-        }
+    // The sink only *stages* partitions — execution happens in `Exec`
+    // tasks — so the sink wall nets staging (not kernels) out of
+    // `partition_time`, keeping the build/execute split's meaning from
+    // the threaded layer.
+    let mut jobs = VecDeque::new();
+    let mut sink_exec = Duration::ZERO;
+    let prep = prepare_partitions(q, g, &config, tree, &plan.order, &mut |job| {
         let sink_start = Instant::now();
-        let (device, class, out) = match execute_checked(inner, policy, &job, &ctx, &mut acc) {
-            Ok(done) => done,
-            Err(e) => {
-                session_err = Some(e);
-                return;
-            }
-        };
-        embeddings += out.embeddings;
-        partitions += 1;
-        kernel_cycles += out.kernel_cycles;
-        device_sec += out.modeled_sec;
-        let _ = sub.tx.send(SessionEvent::Partition(PartitionUpdate {
-            index: job.index,
-            device,
-            backend: class,
-            embeddings: out.embeddings,
-            kernel_cycles: out.kernel_cycles,
-            modeled_sec: out.modeled_sec,
-            collected: out.collected,
-        }));
+        jobs.push_back(job);
         sink_exec += sink_start.elapsed();
     });
-    obs::record_span(
-        strack,
-        "build",
-        "serve",
-        build_start_ns,
-        obs::now_ns(),
-        vec![
-            ("tier2_hit", obs::ArgValue::U64(cst_cache_hit as u64)),
-            ("plan_hit", obs::ArgValue::U64(plan_hit as u64)),
-            ("shards", obs::ArgValue::U64(prep.pipeline_shards as u64)),
-            ("seeded", obs::ArgValue::U64(prep.seeded_shards as u64)),
-        ],
-    );
-    // Tier-2 insert: execution ran inline in the sink, so the artifact is
-    // complete when `prepare_partitions` returns. Insert *before* dropping
-    // the flight — waiters wake straight into a tier-2 hit, making N
-    // identical concurrent cold sessions build exactly once. (An artifact
-    // larger than the whole budget is rejected by the cache, counted, and
-    // the working set stays untouched; its waiters then build in turn.)
+    // Tier-2 insert: capture is part of the build, so the artifact is
+    // complete when `prepare_partitions` returns. Insert *before*
+    // dropping the flight — waiters wake straight into a tier-2 hit,
+    // making N identical concurrent cold sessions build exactly once.
+    // (An artifact larger than the whole budget is rejected by the
+    // cache, counted, and the working set stays untouched; its waiters
+    // then build in turn.)
     if let Some(artifact) = prep.prepared.as_ref() {
-        tenant
-            .cst_cache
-            .plock()
-            .insert(key, Arc::clone(artifact));
+        tenant.cst_cache.plock().insert(key, Arc::clone(artifact));
     }
     drop(flight);
-    // The fault counters are folded in whatever the outcome — a session
-    // that retried five times and then missed its deadline still did the
-    // retries, and the chaos accounting reconciles service counters
-    // against per-device failure counters.
-    fold_faults(inner, tenant, &acc);
-    if let Some(err) = session_err {
-        let (outcome, label) = match err {
-            ServeError::DeadlineExceeded => (FinishOutcome::DeadlineMiss, "shed"),
-            _ => (FinishOutcome::Failed, "failed"),
-        };
-        finish(inner, tenant, outcome);
-        if label == "shed" {
-            obs::event(
-                "deadline_shed",
-                "fault",
-                vec![("at", obs::ArgValue::Str("mid-session"))],
-            );
+    {
+        let mut s = slot.mu.plock();
+        s.stats.build_start_ns = build_start_ns;
+        s.stats.plan_time = measured_plan_time + prep.plan_time;
+        // Build + partition wall net of sink time. Exactly zero on a
+        // tier-2 hit: the replay does no build or partition work at all.
+        s.stats.build_time = prep.build_wall + prep.partition_time.saturating_sub(sink_exec);
+        s.stats.topdown_entries = prep.build_topdown_entries;
+        s.stats.pipeline_shards = prep.pipeline_shards;
+        s.stats.seeded_shards = prep.seeded_shards;
+        s.stats.plan_hit = plan_hit;
+        s.stats.cst_cache_hit = cst_cache_hit;
+        s.jobs = jobs;
+        s.stage = Stage::Dispatched;
+    }
+    BuildOutcome::Ready
+}
+
+/// Executes one staged partition: pops it under the session lock, runs
+/// the full fault-tolerant execution *without* the lock, folds the
+/// result back, and parks the session on the pool's completion queue.
+fn run_exec(inner: &Inner, sid: u64) {
+    let Some(slot) = session(inner, sid) else { return };
+    let _track = obs::set_track(obs::session_track(sid));
+    let deadline = slot.tenant.deadline;
+    let (job, plan) = {
+        let mut s = slot.mu.plock();
+        if s.finished {
+            return;
         }
-        close_session(label, embeddings);
-        let _ = sub.tx.send(SessionEvent::Failed(err));
-        return;
+        if s.session_err.is_none() {
+            if let Some(dl) = deadline {
+                // Deadline re-check at the dispatch transition: a
+                // session past its budget sheds instead of executing
+                // another partition.
+                if slot.submitted.elapsed() > dl {
+                    s.session_err = Some(ServeError::DeadlineExceeded);
+                }
+            }
+        }
+        if s.session_err.is_some() {
+            drop(s);
+            finalize_from_state(inner, &slot);
+            return;
+        }
+        let Some(job) = s.jobs.pop_front() else {
+            drop(s);
+            finalize_from_state(inner, &slot);
+            return;
+        };
+        if s.jobs.is_empty() {
+            s.stage = Stage::Draining;
+        }
+        (
+            job,
+            Arc::clone(s.plan.as_ref().expect("dispatched session has a plan")),
+        )
+    };
+    let ctx = QueryCtx {
+        query: &slot.query,
+        graph: &slot.tenant.graph,
+        order: &plan.order,
+        kernel_plan: &plan.kernel_plan,
+        collect: plan.collect,
+    };
+    let policy = &inner.config.fault;
+    let mut acc = FaultAcc::default();
+    match execute_checked(inner, policy, &job, &ctx, &mut acc) {
+        Ok((device, class, out)) => {
+            {
+                let mut s = slot.mu.plock();
+                fold_acc(&mut s.stats.acc, &acc);
+                s.stats.embeddings += out.embeddings;
+                s.stats.partitions += 1;
+                s.stats.kernel_cycles += out.kernel_cycles;
+                s.stats.device_sec += out.modeled_sec;
+            }
+            let _ = slot.tx.send(SessionEvent::Partition(PartitionUpdate {
+                index: job.index,
+                device,
+                backend: class,
+                embeddings: out.embeddings,
+                kernel_cycles: out.kernel_cycles,
+                modeled_sec: out.modeled_sec,
+                collected: out.collected,
+            }));
+        }
+        Err(e) => {
+            let mut s = slot.mu.plock();
+            fold_acc(&mut s.stats.acc, &acc);
+            s.session_err = Some(e);
+        }
+    }
+    // The partition is done: hand the session to the pool's completion
+    // queue; whichever executor drains it next resumes the session.
+    inner.devices.plock().push_completion(sid);
+    notify_executors(inner);
+}
+
+/// Resumes a session whose partition just completed: retire it if it is
+/// done (or doomed), otherwise queue the next `Exec` task.
+fn on_completion(inner: &Inner, sid: u64) {
+    let Some(slot) = session(inner, sid) else { return };
+    let _track = obs::set_track(obs::session_track(sid));
+    let done = {
+        let mut s = slot.mu.plock();
+        if s.finished {
+            return;
+        }
+        debug_assert!(matches!(s.stage, Stage::Dispatched | Stage::Draining));
+        if s.session_err.is_none() && !s.jobs.is_empty() {
+            if let Some(dl) = slot.tenant.deadline {
+                // Deadline re-check at the completion transition.
+                if slot.submitted.elapsed() > dl {
+                    s.session_err = Some(ServeError::DeadlineExceeded);
+                }
+            }
+        }
+        s.session_err.is_some() || s.jobs.is_empty()
+    };
+    if done {
+        finalize_from_state(inner, &slot);
+    } else {
+        push_task(inner, Task::Exec(sid));
+    }
+}
+
+/// Folds one partition's fault accounting into the session total.
+fn fold_acc(total: &mut FaultAcc, part: &FaultAcc) {
+    total.retries += part.retries;
+    total.failovers += part.failovers;
+    total.corruption_catches += part.corruption_catches;
+    total.degraded_sec += part.degraded_sec;
+    // Worst queue any partition joined behind, same as the inline layer.
+    total.device_queue_sec = total.device_queue_sec.max(part.device_queue_sec);
+}
+
+/// How a session retires.
+enum SessionOutcome {
+    Completed,
+    /// Shed past its deadline; `at` names the transition that caught it.
+    Shed { at: &'static str },
+    Error(ServeError),
+}
+
+/// Maps the session's latched state to its retirement: a latched error
+/// becomes the typed failure (a latched deadline sheds "mid-session"),
+/// no error means it completed.
+fn finalize_from_state(inner: &Inner, slot: &SessionSlot) {
+    let err = slot.mu.plock().session_err.clone();
+    match err {
+        None => finalize(inner, slot, SessionOutcome::Completed),
+        Some(ServeError::DeadlineExceeded) => {
+            finalize(inner, slot, SessionOutcome::Shed { at: "mid-session" })
+        }
+        Some(e) => finalize(inner, slot, SessionOutcome::Error(e)),
+    }
+}
+
+/// Retires a session exactly once: folds its fault accounting and
+/// outcome into service + tenant metrics, records the closing spans,
+/// notifies the handle, and releases its execution permit and slab
+/// entry. The `finished` flag flips first, under the session lock —
+/// every racing caller (a stale task, a panic handler) sees it and
+/// backs off, so the permit can never be released twice.
+fn finalize(inner: &Inner, slot: &SessionSlot, outcome: SessionOutcome) {
+    let stats = {
+        let mut s = slot.mu.plock();
+        if s.finished {
+            return;
+        }
+        s.finished = true;
+        s.stage = match outcome {
+            SessionOutcome::Shed { .. } => Stage::Shed,
+            _ => Stage::Done,
+        };
+        s.stats.clone()
+    };
+    let tenant = &slot.tenant;
+    let strack = obs::session_track(slot.id);
+    // Fault counters fold whatever the outcome — a session that retried
+    // five times and then missed its deadline still did the retries, and
+    // the chaos accounting reconciles service counters against
+    // per-device failure counters.
+    fold_faults(inner, tenant, &stats.acc);
+    match outcome {
+        SessionOutcome::Completed => {
+            let now = Instant::now();
+            let picked = stats.picked.unwrap_or(now);
+            let report = QueryReport {
+                id: slot.id,
+                tenant: tenant.id,
+                completion_seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
+                embeddings: stats.embeddings,
+                partitions: stats.partitions,
+                cache_hit: stats.plan_hit || stats.cst_cache_hit,
+                cst_cache_hit: stats.cst_cache_hit,
+                plan_time: stats.plan_time,
+                build_time: stats.build_time,
+                topdown_entries: stats.topdown_entries,
+                pipeline_shards: stats.pipeline_shards,
+                seeded_shards: stats.seeded_shards,
+                service_time: now.duration_since(picked),
+                queue_wait: stats.queue_wait,
+                device_queue_sec: stats.acc.device_queue_sec,
+                latency: now.duration_since(slot.submitted)
+                    + Duration::from_secs_f64(stats.acc.device_queue_sec),
+                kernel_cycles: stats.kernel_cycles,
+                device_sec: stats.device_sec,
+                retries: stats.acc.retries,
+                failovers: stats.acc.failovers,
+                corruption_catches: stats.acc.corruption_catches,
+                degraded_sec: stats.acc.degraded_sec,
+            };
+            finish(inner, tenant, FinishOutcome::Completed(report.clone()));
+            // One "build" span per *completed* session, covering build
+            // through last execution — the span the nesting check and
+            // the per-completion span counts pin.
+            obs::record_span(
+                strack,
+                "build",
+                "serve",
+                stats.build_start_ns,
+                obs::now_ns(),
+                vec![
+                    ("tier2_hit", obs::ArgValue::U64(stats.cst_cache_hit as u64)),
+                    ("plan_hit", obs::ArgValue::U64(stats.plan_hit as u64)),
+                    ("shards", obs::ArgValue::U64(stats.pipeline_shards as u64)),
+                    ("seeded", obs::ArgValue::U64(stats.seeded_shards as u64)),
+                ],
+            );
+            close_session(strack, slot, "completed", stats.embeddings);
+            let _ = slot.tx.send(SessionEvent::Done(report));
+        }
+        SessionOutcome::Shed { at } => {
+            finish(inner, tenant, FinishOutcome::DeadlineMiss);
+            obs::event("deadline_shed", "fault", vec![("at", obs::ArgValue::Str(at))]);
+            close_session(strack, slot, "shed", stats.embeddings);
+            let _ = slot
+                .tx
+                .send(SessionEvent::Failed(ServeError::DeadlineExceeded));
+        }
+        SessionOutcome::Error(err) => {
+            finish(inner, tenant, FinishOutcome::Failed);
+            close_session(strack, slot, "failed", stats.embeddings);
+            let _ = slot.tx.send(SessionEvent::Failed(err));
+        }
+    }
+    release(inner, slot.id);
+}
+
+/// Closes the session span (submit → now) with its outcome; recorded on
+/// every exit path *before* the handle is notified, so a waiter that
+/// snapshots the trace after `wait()` sees its own session.
+fn close_session(strack: u64, slot: &SessionSlot, outcome: &'static str, embeddings: u64) {
+    obs::record_span(
+        strack,
+        "session",
+        "serve",
+        slot.submitted_ns,
+        obs::now_ns(),
+        vec![
+            ("tenant", obs::ArgValue::U64(slot.tenant.id.raw() as u64)),
+            ("outcome", obs::ArgValue::Str(outcome)),
+            ("embeddings", obs::ArgValue::U64(embeddings)),
+        ],
+    );
+}
+
+/// Releases a retired session's execution permit and slab entry, then
+/// wakes the executors (a permit freed means a pickup may proceed; at
+/// shutdown, `admitted` hitting zero is the exit signal).
+fn release(inner: &Inner, sid: u64) {
+    {
+        let mut gate = inner.gate.plock();
+        gate.in_flight = gate.in_flight.saturating_sub(1);
+        gate.admitted = gate.admitted.saturating_sub(1);
+        inner.hooks.in_flight.set(gate.in_flight as f64);
+    }
+    inner.sessions.plock().remove(&sid);
+    notify_executors(inner);
+}
+
+/// Retires a session whose task panicked: counted as failed (the panic
+/// already unwound past the normal retirement), permit and slab entry
+/// released, handle left to observe `Disconnected` as the sender drops.
+fn panic_retire(inner: &Inner, sid: u64) {
+    let Some(slot) = session(inner, sid) else { return };
+    {
+        let mut s = slot.mu.plock();
+        if s.finished {
+            return;
+        }
+        s.finished = true;
+        s.stage = Stage::Done;
     }
     let now = Instant::now();
-    let report = QueryReport {
-        id: sub.id,
-        tenant: tenant.id,
-        completion_seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
-        embeddings,
-        partitions,
-        cache_hit: plan_hit || cst_cache_hit,
-        cst_cache_hit,
-        // ~0 on a hit (and exactly 0 on the tier-2 replay inside
-        // `prepare_partitions`); the explicit probe/boundary-search wall
-        // on a miss.
-        plan_time: measured_plan_time + prep.plan_time,
-        // Build + partition wall net of sink time (dispatch + inline
-        // kernels are execution, not preparation). Exactly zero on a
-        // tier-2 hit: the replay does no build or partition work at all.
-        build_time: prep.build_wall + prep.partition_time.saturating_sub(sink_exec),
-        topdown_entries: prep.build_topdown_entries,
-        pipeline_shards: prep.pipeline_shards,
-        seeded_shards: prep.seeded_shards,
-        service_time: now.duration_since(picked),
-        queue_wait,
-        device_queue_sec: acc.device_queue_sec,
-        latency: now.duration_since(sub.submitted)
-            + Duration::from_secs_f64(acc.device_queue_sec),
-        kernel_cycles,
-        device_sec,
-        retries: acc.retries,
-        failovers: acc.failovers,
-        corruption_catches: acc.corruption_catches,
-        degraded_sec: acc.degraded_sec,
-    };
-    finish(inner, tenant, FinishOutcome::Completed(report.clone()));
-    close_session("completed", embeddings);
-    let _ = sub.tx.send(SessionEvent::Done(report));
+    {
+        let mut m = inner.metrics.plock();
+        m.failed += 1;
+        m.last_done = Some(now);
+    }
+    {
+        let mut m = slot.tenant.metrics.plock();
+        m.failed += 1;
+        m.last_done = Some(now);
+    }
+    inner.hooks.failed.inc();
+    release(inner, sid);
 }
 
 /// Per-session fault accounting, accumulated across every partition's
 /// attempts and folded into service + tenant metrics whatever the
 /// session's outcome.
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 struct FaultAcc {
     /// Failed execution attempts that were retried — bumps in lockstep
     /// with the failing device's `DeviceStats::failures`, which is the
@@ -1610,8 +2161,11 @@ fn execute_resilient(
         }
         acc.device_queue_sec = acc.device_queue_sec.max(queued_sec);
         // Execute outside the pool lock: concurrent sessions overlap on
-        // different devices.
-        match backend.execute(job, ctx) {
+        // different devices. begin/complete is the poll seam: a future
+        // device backend can return a pending step the executor parks on
+        // instead of blocking a thread inside it.
+        let step = backend.begin(job, ctx);
+        match step.complete() {
             Ok(out) => {
                 inner
                     .devices
@@ -1762,7 +2316,8 @@ enum FinishOutcome {
 }
 
 /// Folds a session's outcome into the service-wide and tenant metrics.
-/// The admission slot is released by the session's `SlotGuard`, not here.
+/// The execution permit is released by the session's retirement in
+/// `release`, not here.
 fn finish(inner: &Inner, tenant: &TenantState, outcome: FinishOutcome) {
     let now = Instant::now();
     let fold = |m: &mut MetricsState| match &outcome {
@@ -2102,16 +2657,14 @@ mod tests {
         config.workers = 1;
         let service = FastService::new(g, config);
         let first = service.submit(triangle());
-        // The slot may free at any moment; what must hold is that a
-        // rejection returns the query intact and a retry loop succeeds.
-        let mut query = triangle();
+        // The admitted slot may free at any moment; what must hold is
+        // that rejection is the typed `Saturated` error and a retry
+        // loop eventually admits.
         let second = loop {
-            match service.try_submit(query) {
+            match service.try_submit(triangle()) {
                 Ok(h) => break h,
-                Err(back) => {
-                    query = back;
-                    std::thread::yield_now();
-                }
+                Err(ServeError::Saturated) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected try_submit error: {e}"),
             }
         };
         let a = first.wait().unwrap().embeddings;
@@ -2119,6 +2672,32 @@ mod tests {
         assert_eq!(a, b);
         let report = service.shutdown();
         assert!(report.max_in_flight <= 1);
+    }
+
+    #[test]
+    fn shutdown_sheds_queued_sessions_with_typed_error() {
+        let g = random_labelled_graph(120, 0.25, 2, 57);
+        let mut config = small_config();
+        config.workers = 1;
+        config.max_in_flight = 64;
+        let service = FastService::new(g, config);
+        let handles: Vec<_> = (0..24).map(|_| service.submit(triangle())).collect();
+        // Shut down immediately: whatever was picked up completes,
+        // whatever was still queued is shed with the typed error — no
+        // handle ever observes a disconnected channel.
+        let report = service.shutdown();
+        let mut completed = 0usize;
+        let mut shed = 0usize;
+        for h in handles {
+            match h.wait() {
+                Ok(_) => completed += 1,
+                Err(ServeError::ShuttingDown) => shed += 1,
+                Err(e) => panic!("unexpected shutdown outcome: {e}"),
+            }
+        }
+        assert_eq!(completed + shed, 24);
+        assert_eq!(report.completed, completed as u64);
+        assert_eq!(report.failed, shed as u64);
     }
 
     #[test]
@@ -2130,6 +2709,13 @@ mod tests {
         assert!(msg.contains("deadline"), "{msg}");
         let msg = ServeError::Degraded.to_string();
         assert!(msg.contains("degraded"), "{msg}");
+        assert_eq!(ServeError::Saturated, ServeError::Saturated);
+        assert_eq!(ServeError::ShuttingDown, ServeError::ShuttingDown);
+        assert_ne!(ServeError::Saturated, ServeError::ShuttingDown);
+        let msg = ServeError::Saturated.to_string();
+        assert!(msg.contains("saturated"), "{msg}");
+        let msg = ServeError::ShuttingDown.to_string();
+        assert!(msg.contains("shutting down"), "{msg}");
         // They are std errors like the rest of the enum.
         let e: &dyn std::error::Error = &ServeError::Degraded;
         assert!(e.source().is_none());

@@ -89,6 +89,14 @@ struct Lane<T> {
     /// Deficit-round-robin credit: pops remaining in the current round.
     credit: u32,
     queue: VecDeque<T>,
+    /// Sessions of this tenant popped from the lane but currently parked —
+    /// waiting on a device completion or a plan flight — rather than
+    /// runnable. Bookkeeping only: parked sessions are *invisible* to the
+    /// deficit round (they neither consume nor bank credit), which is what
+    /// makes the scheduler readiness-aware — a tenant whose sessions are
+    /// all parked on completions cannot hold up other tenants' deficits,
+    /// and its own queued sessions keep popping at full weight.
+    parked: u32,
 }
 
 /// A weighted round-robin multi-queue: one FIFO lane per tenant, popped in
@@ -131,6 +139,7 @@ impl<T> WrrQueue<T> {
             weight,
             credit: weight,
             queue: VecDeque::new(),
+            parked: 0,
         });
     }
 
@@ -181,9 +190,30 @@ impl<T> WrrQueue<T> {
     }
 
     /// Queued items across all lanes.
-    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.len
+    }
+
+    /// Records that one of `tenant`'s sessions left the runnable set —
+    /// parked on a device completion or a plan flight. Parked sessions are
+    /// not lane entries, so the deficit round never waits on them; this
+    /// counter only keeps the readiness picture observable.
+    pub(crate) fn park(&mut self, tenant: TenantId) {
+        if let Some(lane) = self.lanes.iter_mut().find(|l| l.tenant == tenant) {
+            lane.parked += 1;
+        }
+    }
+
+    /// Reverses [`park`](Self::park) when the session resumes (or dies).
+    pub(crate) fn unpark(&mut self, tenant: TenantId) {
+        if let Some(lane) = self.lanes.iter_mut().find(|l| l.tenant == tenant) {
+            lane.parked = lane.parked.saturating_sub(1);
+        }
+    }
+
+    /// Sessions currently parked across all tenants.
+    pub(crate) fn parked_total(&self) -> usize {
+        self.lanes.iter().map(|l| l.parked as usize).sum()
     }
 }
 
@@ -249,6 +279,40 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(), Some(7));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn parked_sessions_do_not_hold_up_the_deficit() {
+        // Tenant b holds heavy quota but every one of its sessions is
+        // parked on device completions (not lane entries): tenant a's
+        // queued work must flow without waiting on b's deficit, and the
+        // park bookkeeping must not disturb b's weighted share once its
+        // own queued work returns.
+        let mut q = two_lane_queue(1, 3);
+        for _ in 0..5 {
+            q.park(TenantId::new(1));
+        }
+        assert_eq!(q.parked_total(), 5);
+        for i in 0..4 {
+            q.push(TenantId::new(0), ('a', i));
+        }
+        let popped: Vec<char> = (0..4).map(|_| q.pop().unwrap().0).collect();
+        assert_eq!(popped, vec!['a'; 4], "parked lanes never stall others");
+        for _ in 0..5 {
+            q.unpark(TenantId::new(1));
+        }
+        assert_eq!(q.parked_total(), 0);
+        q.unpark(TenantId::new(1)); // saturates, never underflows
+        assert_eq!(q.parked_total(), 0);
+        q.park(TenantId::new(9)); // unknown tenants are ignored
+        assert_eq!(q.parked_total(), 0);
+        // Weighted split unchanged by the park/unpark churn.
+        for i in 0..32 {
+            q.push(TenantId::new(0), ('a', i));
+            q.push(TenantId::new(1), ('b', i));
+        }
+        let popped: Vec<char> = (0..32).map(|_| q.pop().unwrap().0).collect();
+        assert_eq!(popped.iter().filter(|&&c| c == 'b').count(), 24);
     }
 
     #[test]
